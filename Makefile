@@ -1,0 +1,33 @@
+# Convenience targets for the LVM reproduction.
+
+PYTHON ?= python
+REFS ?= 20000
+
+.PHONY: install test bench figures quicktest clean loc
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+quicktest:
+	$(PYTHON) -m pytest tests/ -q -x -k "not Stateful and not property"
+
+bench:
+	REPRO_REFS=$(REFS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+figures:
+	$(PYTHON) -m repro fig2
+	$(PYTHON) -m repro fig3
+	$(PYTHON) -m repro tab1
+	$(PYTHON) -m repro tab2
+	$(PYTHON) -m repro hardware
+	$(PYTHON) -m repro fig9 --refs $(REFS)
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

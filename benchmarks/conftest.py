@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+The end-to-end figures (9-12) all derive from one scheme x workload x
+page-size sweep, exactly as in the paper; the sweep runs once per
+pytest session and is shared by every figure bench.
+
+Environment knobs:
+
+* ``REPRO_REFS``       — trace length per run (default 20000; the
+  EXPERIMENTS.md numbers use 50000).
+* ``REPRO_WORKLOADS``  — comma-separated subset of the suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim import SimConfig, run_suite
+from repro.workloads import SUITE
+
+
+def bench_refs() -> int:
+    return int(os.environ.get("REPRO_REFS", "20000"))
+
+
+def bench_workloads():
+    names = os.environ.get("REPRO_WORKLOADS")
+    if names:
+        return [n.strip() for n in names.split(",") if n.strip()]
+    return list(SUITE)
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """The full sweep behind Figures 9-12: all schemes, 4 KB and THP."""
+    config = SimConfig(num_refs=bench_refs())
+    return run_suite(
+        workload_names=bench_workloads(),
+        schemes=("radix", "ecpt", "lvm", "ideal"),
+        page_modes=(False, True),
+        config=config,
+    )
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    return SimConfig(num_refs=bench_refs())

@@ -1,0 +1,50 @@
+"""Figure 11: page-walk memory traffic relative to radix (section 7.2).
+
+Memory requests the walker sends to the cache hierarchy, normalized to
+radix per page size.  Paper findings: LVM cuts walk traffic by 43%
+(4 KB) / 34% (THP) versus radix, while ECPT *increases* it to 1.7x /
+2.1x radix — LVM issues ~3x fewer walk requests than ECPT.
+"""
+
+from repro.analysis import render_table
+from repro.sim import mean
+
+
+def test_fig11_walk_traffic(suite_results, benchmark):
+    def collect():
+        out = {}
+        for thp in (False, True):
+            rows = []
+            for workload in suite_results.workloads():
+                rows.append((
+                    workload,
+                    suite_results.walk_traffic_relative(workload, "ecpt", thp),
+                    suite_results.walk_traffic_relative(workload, "lvm", thp),
+                    suite_results.walk_traffic_relative(workload, "ideal", thp),
+                ))
+            out[thp] = rows
+        return out
+
+    tables = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for thp in (False, True):
+        label = "THP" if thp else "4KB"
+        print()
+        print(render_table(
+            ["workload", "ecpt", "lvm", "ideal"], tables[thp],
+            title=f"Figure 11 — page-walk traffic relative to radix ({label})",
+        ))
+        print(
+            f"averages: ecpt={mean(r[1] for r in tables[thp]):.2f} "
+            f"lvm={mean(r[2] for r in tables[thp]):.2f}"
+        )
+
+    lvm_4k = mean(r[2] for r in tables[False])
+    ecpt_4k = mean(r[1] for r in tables[False])
+    # Paper: LVM -43% vs radix; ECPT 1.7x radix; LVM ~2.9x less than ECPT.
+    assert lvm_4k < 0.80
+    assert ecpt_4k > 1.2
+    assert ecpt_4k / lvm_4k > 2.0
+    # LVM walk traffic is within a whisker of ideal (paper: +1%).
+    for thp in (False, True):
+        for _, _, lvm_rel, ideal_rel in tables[thp]:
+            assert lvm_rel <= ideal_rel * 1.35 + 0.05

@@ -1,0 +1,46 @@
+"""Figure 12: L2/L3 cache MPKI relative to radix (paper section 7.2).
+
+The cache-pollution story: ECPT's parallel probes inflate L2/L3 misses
+(paper: +44% / +40% on average, worst on GUPS, memcached and MUMmer),
+while LVM stays within ~1% of radix's MPKI.
+"""
+
+from repro.analysis import render_table
+from repro.sim import mean
+
+
+def test_fig12_mpki(suite_results, benchmark):
+    def collect():
+        rows = []
+        for workload in suite_results.workloads():
+            rows.append((
+                workload,
+                suite_results.mpki_relative(workload, "ecpt", False, "l2"),
+                suite_results.mpki_relative(workload, "lvm", False, "l2"),
+                suite_results.mpki_relative(workload, "ecpt", False, "l3"),
+                suite_results.mpki_relative(workload, "lvm", False, "l3"),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["workload", "ecpt L2", "lvm L2", "ecpt L3", "lvm L3"], rows,
+        title="Figure 12 — cache MPKI relative to radix (4KB)",
+    ))
+    ecpt_l2 = mean(r[1] for r in rows)
+    lvm_l2 = mean(r[2] for r in rows)
+    ecpt_l3 = mean(r[3] for r in rows)
+    lvm_l3 = mean(r[4] for r in rows)
+    print(f"averages: ecpt L2={ecpt_l2:.2f} lvm L2={lvm_l2:.2f} "
+          f"ecpt L3={ecpt_l3:.2f} lvm L3={lvm_l3:.2f}")
+    # Paper: ECPT +44% L2 / +40% L3; LVM within ~1% of radix.
+    assert ecpt_l2 > 1.2
+    assert ecpt_l3 > 1.15
+    assert 0.8 < lvm_l2 < 1.05
+    assert 0.8 < lvm_l3 < 1.05
+    # Worst pollution on the large-PTE-working-set workloads.
+    by_name = {r[0]: r for r in rows}
+    for name in ("gups", "mem$", "MUMr"):
+        if name in by_name:
+            assert by_name[name][1] >= 1.3

@@ -1,0 +1,31 @@
+"""Figure 3: contiguous allocatability of free memory (section 3.2).
+
+Regenerates the median fraction of free memory immediately allocatable
+as a contiguous block, per block size, over a small simulated fleet of
+churned servers.  Paper shape reproduced: contiguity plentiful in the
+tens-to-hundreds-of-KB range, practically zero at hundreds of MBs.
+"""
+
+from repro.analysis import render_table, run_fleet_study
+
+
+def run_figure3():
+    return run_fleet_study(num_servers=5, mem_bytes=1 << 30)
+
+
+def test_fig3_contiguity(benchmark):
+    profile = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    rows = [(f"{size >> 10}KB", frac) for size, frac in profile.rows()]
+    print()
+    print(render_table(
+        ["block size", "fraction of free memory"], rows,
+        title="Figure 3 — median contiguously-allocatable free memory",
+    ))
+    # Paper shape: everything allocatable at 4 KB, ~30% at 256 KB,
+    # essentially nothing at 256 MB.
+    assert profile.at(4 << 10) == 1.0
+    assert profile.at(256 << 10) >= 0.25
+    assert profile.at(256 << 20) <= 0.02
+    # Monotone non-increasing in block size.
+    values = [frac for _, frac in profile.rows()]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))

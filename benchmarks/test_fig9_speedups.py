@@ -1,0 +1,46 @@
+"""Figure 9: end-to-end speedups (paper section 7.1).
+
+Regenerates the speedup bars: radix / ECPT / LVM / Ideal under 4 KB
+pages and THP, normalized to radix at the same page size.  Paper
+findings checked in shape: LVM speeds up every workload at 4 KB
+(paper: 5-26%, average 14%), beats or matches ECPT on average, and is
+within ~2% of the single-access Ideal design.
+"""
+
+from repro.analysis import render_table
+from repro.sim import mean
+from repro.sim.runner import summarize_speedups
+
+
+def test_fig9_speedups(suite_results, benchmark):
+    def summarize():
+        return {
+            thp: summarize_speedups(suite_results, thp) for thp in (False, True)
+        }
+
+    tables = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    for thp in (False, True):
+        rows = [
+            (r["workload"], r["radix"], r["ecpt"], r["lvm"], r["ideal"])
+            for r in tables[thp]
+        ]
+        label = "THP" if thp else "4KB"
+        print()
+        print(render_table(
+            ["workload", "radix", "ecpt", "lvm", "ideal"], rows,
+            title=f"Figure 9 — end-to-end speedup over radix ({label})",
+        ))
+        avg = {s: mean(r[s] for r in tables[thp]) for s in ("ecpt", "lvm", "ideal")}
+        print(f"averages: ecpt={avg['ecpt']:.3f} lvm={avg['lvm']:.3f} ideal={avg['ideal']:.3f}")
+
+    four_kb = tables[False]
+    lvm = [r["lvm"] for r in four_kb]
+    ecpt = [r["ecpt"] for r in four_kb]
+    ideal = [r["ideal"] for r in four_kb]
+    # 4 KB: LVM speeds up every workload (paper: 5%-26%).
+    assert min(lvm) > 1.0
+    assert mean(lvm) > 1.05
+    # LVM at least matches ECPT on average (paper: +5%).
+    assert mean(lvm) >= mean(ecpt) - 0.01
+    # Within ~2% of the ideal single-access design (paper: within 1%).
+    assert mean(ideal) - mean(lvm) < 0.03

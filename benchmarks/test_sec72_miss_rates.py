@@ -1,0 +1,48 @@
+"""Section 7.2 "TLB, PWC and LWC Miss Rates".
+
+Paper findings: L2 TLB miss rates are high (57.5%-99.4%) and identical
+across schemes; the radix PWC suffers medium-to-high miss rates at the
+PMD level while upper levels hit; and LVM's LWC enjoys hit rates above
+99% because the whole index fits.
+"""
+
+from repro.analysis import render_table
+
+
+def test_sec72_miss_rates(suite_results, benchmark):
+    def collect():
+        rows = []
+        for workload in suite_results.workloads():
+            radix = suite_results.get(workload, "radix", False)
+            lvm = suite_results.get(workload, "lvm", False)
+            rows.append((
+                workload,
+                radix.l2_tlb_miss_rate,
+                lvm.l2_tlb_miss_rate,
+                radix.walk_cache_detail.get("L2", 0.0),
+                radix.walk_cache_detail.get("L3", 0.0),
+                lvm.walk_cache_hit_rate,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["workload", "L2TLB miss (radix)", "L2TLB miss (lvm)",
+         "PWC PMD hit", "PWC PUD hit", "LWC hit"],
+        rows,
+        title="Section 7.2 — TLB / PWC / LWC rates (4KB)",
+    ))
+    for row in rows:
+        name, radix_miss, lvm_miss, pmd_hit, pud_hit, lwc_hit = row
+        # TLB behaviour is scheme-independent (paper: "nearly identical").
+        assert abs(radix_miss - lvm_miss) < 0.02, name
+        # Paper range: 57.5%-99.4% for the L2 TLB.
+        assert 0.3 < radix_miss <= 1.0, name
+        # LWC hit rate above 99% (paper) on every workload.
+        assert lwc_hit > 0.99, name
+        # PWC: upper level hits well above the PMD level's.
+        assert pud_hit >= pmd_hit - 0.05, name
+    # PMD-level PWC miss rates are medium-to-high on random workloads.
+    pmd_hits = [r[3] for r in rows]
+    assert min(pmd_hits) < 0.45

@@ -1,0 +1,52 @@
+"""Section 7.3 "Index Size, Cacheability, and Scaling" — the hardware
+side of the future-proofing claim.
+
+As the memory footprint grows, radix page walk caches need linearly
+more reach (their PMD-level hit rate collapses at fixed capacity),
+while LVM's whole index keeps fitting the 16-entry LWC: its hit rate
+stays above 99% regardless of footprint.
+"""
+
+from repro.analysis import render_table
+from repro.sim import SimConfig, Simulator
+from repro.workloads import build_workload
+
+from conftest import bench_refs
+
+FOOTPRINTS_GB = (16, 64, 256)
+
+
+def run_scaling():
+    rows = []
+    for gb in FOOTPRINTS_GB:
+        workload = build_workload("gups", footprint_override=gb << 30)
+        cfg = SimConfig(num_refs=bench_refs())
+        radix = Simulator("radix", workload, cfg).run()
+        lvm_sim = Simulator("lvm", workload, cfg)
+        lvm = lvm_sim.run()
+        rows.append((
+            gb,
+            radix.walk_cache_detail.get("L2", 0.0),  # PWC PMD-level hits
+            lvm.walk_cache_hit_rate,
+            lvm.index_size_bytes,
+        ))
+    return rows
+
+
+def test_sec73_cacheability_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["footprint", "radix PWC PMD hit", "LVM LWC hit", "LVM index bytes"],
+        [(f"{gb}GB", pmd, lwc, size) for gb, pmd, lwc, size in rows],
+        title="Section 7.3 — cacheability vs. footprint (gups)",
+    ))
+    pmd_hits = [r[1] for r in rows]
+    lwc_hits = [r[2] for r in rows]
+    sizes = [r[3] for r in rows]
+    # Radix PWC coverage degrades with footprint at fixed capacity.
+    assert pmd_hits[-1] < pmd_hits[0] or pmd_hits[0] < 0.3
+    # The LWC stays effectively perfect at every footprint.
+    assert min(lwc_hits) > 0.99
+    # And the index that makes that possible does not grow.
+    assert max(sizes) - min(sizes) <= 64

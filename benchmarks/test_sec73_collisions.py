@@ -1,0 +1,63 @@
+"""Section 7.3 collision studies.
+
+* Collision rates: LVM vs. the Blake2 hash table at load factor 0.6
+  (paper: LVM 0.2% (4 KB) / 0.6% (THP) vs. 22% / 19% for the table).
+* Collision resolution: average additional memory accesses per
+  collision, bounded by C_err = 3 (paper measures 2.36).
+"""
+
+from repro.analysis import collision_study, render_table
+from repro.core.config import LVMConfig
+from repro.sim import mean
+
+from conftest import bench_refs, bench_workloads
+
+# The collision study drives the software index directly; a subset of
+# workloads keeps the bench quick while spanning all workload kinds.
+STUDY_WORKLOADS = [
+    n for n in ("bfs", "dc", "gups", "mem$", "MUMr") if n in bench_workloads()
+]
+
+
+def run_study(thp):
+    return [
+        collision_study(name, thp=thp, num_lookups=bench_refs())
+        for name in STUDY_WORKLOADS
+    ]
+
+
+def test_sec73_collision_rates_4k(benchmark):
+    rows = benchmark.pedantic(run_study, args=(False,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["workload", "LVM", "Blake2 hash table", "extra acc/collision"],
+        [
+            (r.workload, r.lvm_collision_rate, r.hash_collision_rate,
+             r.lvm_avg_extra_accesses)
+            for r in rows
+        ],
+        title="Section 7.3 — collision rates (4KB)",
+    ))
+    lvm = mean(r.lvm_collision_rate for r in rows)
+    hashed = mean(r.hash_collision_rate for r in rows)
+    print(f"averages: lvm={lvm:.4f} hash={hashed:.4f}")
+    # Paper: 0.2% vs 22% — a drastic gap; we require >= one order of
+    # magnitude and the same "near-zero vs tens of percent" shape.
+    assert lvm < 0.05
+    assert hashed > 0.10
+    assert hashed / max(lvm, 1e-6) > 5
+    # Several workloads enjoy near-zero collision rates (paper text).
+    assert sum(1 for r in rows if r.lvm_collision_rate < 0.005) >= 2
+
+
+def test_sec73_collision_resolution_bounded(benchmark):
+    rows = benchmark.pedantic(run_study, args=(True,), rounds=1, iterations=1)
+    config = LVMConfig()
+    for r in rows:
+        # C_err bounds the average extra accesses per collision
+        # (paper: average 2.36 with C_err = 3).
+        if r.lvm_collision_rate > 0:
+            assert r.lvm_avg_extra_accesses <= config.c_err + 1.0, r.workload
+    lvm_thp = mean(r.lvm_collision_rate for r in rows)
+    print(f"\nTHP collision rate average: {lvm_thp:.4f}")
+    assert lvm_thp < 0.06

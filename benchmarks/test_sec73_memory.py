@@ -1,0 +1,30 @@
+"""Section 7.3 memory consumption.
+
+Page-table space beyond the minimal 8 B per translation.  Paper: LVM's
+gapped arrays cost at most 1.3x the minimum (e.g. +12 MB for MUMmer's
+20 GB footprint) while ECPT's over-provisioning costs more (+27 MB).
+"""
+
+from repro.analysis import bytes_human, memory_consumption_study, render_table
+
+
+def test_sec73_memory_consumption(benchmark):
+    row = benchmark.pedantic(
+        memory_consumption_study, args=("MUMr",), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(
+        ["scheme", "overhead beyond 8B/translation"],
+        [
+            ("minimum", bytes_human(0)),
+            ("LVM", bytes_human(row.lvm_overhead_bytes)),
+            ("ECPT", bytes_human(row.ecpt_overhead_bytes)),
+            ("radix", bytes_human(row.radix_overhead_bytes)),
+        ],
+        title=f"Section 7.3 — memory consumption (MUMr, "
+              f"minimum {bytes_human(row.minimum_bytes)})",
+    ))
+    # Paper: LVM worst case 1.3x the minimum space.
+    assert row.lvm_overhead_bytes <= 0.40 * row.minimum_bytes
+    # ECPT over-provisions more than LVM (paper: 27 MB vs 12 MB).
+    assert row.ecpt_overhead_bytes > row.lvm_overhead_bytes

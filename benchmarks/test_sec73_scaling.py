@@ -1,0 +1,34 @@
+"""Section 7.3 scaling study: index size vs. memory footprint.
+
+The paper scales memcached from 32 GB to 240 GB and finds the
+steady-state index stays at 112 bytes: the learned index's size depends
+on the *structure* of the address space, not its size.  Radix page
+walk caches, in contrast, need linearly more reach.
+"""
+
+from repro.analysis import (
+    pwc_entries_for_footprint,
+    render_table,
+    scaling_study,
+)
+
+
+def test_sec73_index_size_scaling(benchmark):
+    sizes = benchmark.pedantic(scaling_study, rounds=1, iterations=1)
+    rows = [
+        (f"{gb}GB", size, pwc_entries_for_footprint(gb << 30))
+        for gb, size in sizes.items()
+    ]
+    print()
+    print(render_table(
+        ["memcached footprint", "LVM index (bytes)", "radix PWC entries needed"],
+        rows,
+        title="Section 7.3 — index size scaling (memcached)",
+    ))
+    values = list(sizes.values())
+    # Paper: all four footprints give the same 112-byte index.
+    assert max(values) - min(values) <= 32
+    assert max(values) <= 512
+    # Radix PWC reach must scale linearly with the footprint.
+    entries = [pwc_entries_for_footprint(gb << 30) for gb in sizes]
+    assert entries[-1] > entries[0]

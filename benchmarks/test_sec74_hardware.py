@@ -1,0 +1,59 @@
+"""Section 7.4 hardware characterization.
+
+Analytical (CACTI-style) area/power model for the MMU caching
+structures.  Paper results reproduced: a model computation + LWC lookup
+takes 2 cycles; the LVM walker needs 0.000637 mm^2; the LWC needs
+0.00364 mm^2 and 0.588 mW leakage; and versus the radix PWC, LVM saves
+3.0x in storage bytes, 1.5x in area, and 1.9x in power.
+"""
+
+import pytest
+
+from repro.analysis import compare_default, render_table, scalability_curve
+from repro.analysis.area_model import WALKER_AREA_MM2, WALKER_CYCLES
+
+
+def test_sec74_hardware_ratios(benchmark):
+    cmp = benchmark.pedantic(compare_default, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["structure", "payload bytes", "area (mm^2)", "leakage (mW)"],
+        [
+            ("LVM LWC", cmp.lwc.payload_bytes, f"{cmp.lwc.area_mm2:.5f}",
+             f"{cmp.lwc.leakage_mw:.3f}"),
+            ("Radix PWC", cmp.pwc.payload_bytes, f"{cmp.pwc.area_mm2:.5f}",
+             f"{cmp.pwc.leakage_mw:.3f}"),
+        ],
+        title="Section 7.4 — hardware structures",
+    ))
+    print(f"ratios (radix/LVM): bytes={cmp.bytes_ratio:.2f} "
+          f"area={cmp.area_ratio:.2f} power={cmp.power_ratio:.2f}")
+    print(f"LVM walker: {WALKER_AREA_MM2} mm^2, {WALKER_CYCLES} cycles per model step")
+    # Paper headline numbers.
+    assert cmp.bytes_ratio == pytest.approx(3.0, rel=0.01)
+    assert cmp.area_ratio == pytest.approx(1.5, rel=0.05)
+    assert cmp.power_ratio == pytest.approx(1.9, rel=0.05)
+    assert cmp.lwc.area_mm2 == pytest.approx(0.00364, rel=0.02)
+    assert cmp.lwc.leakage_mw == pytest.approx(0.588, rel=0.02)
+    assert WALKER_CYCLES == 2
+
+
+def test_sec74_scalability(benchmark):
+    footprints = [16, 64, 256, 1024]
+    curve = benchmark.pedantic(
+        scalability_curve, args=(footprints,), rounds=1, iterations=1
+    )
+    rows = [
+        (f"{gb}GB", f"{v['radix_pwc_mm2']:.5f}", f"{v['lvm_lwc_mm2']:.5f}")
+        for gb, v in curve.items()
+    ]
+    print()
+    print(render_table(
+        ["footprint", "radix PWC area", "LVM LWC area"], rows,
+        title="Section 7.4 — walk-cache area needed vs. footprint",
+    ))
+    # Radix PWC area grows with footprint; the LWC is flat.
+    radix_areas = [v["radix_pwc_mm2"] for v in curve.values()]
+    lwc_areas = [v["lvm_lwc_mm2"] for v in curve.values()]
+    assert radix_areas[-1] > radix_areas[0] * 4
+    assert max(lwc_areas) == min(lwc_areas)

@@ -1,0 +1,111 @@
+"""Section 7.5 comparisons with prior work: ASAP, Midgard, FPT.
+
+Paper findings reproduced in shape:
+
+* ASAP (7.5.1): slower than both ECPT and LVM — the prefetcher's extra
+  traffic erases its latency win.
+* Midgard (7.5.2): only a modest gain over radix (translation still
+  radix on LLC misses), well below LVM.
+* FPT (7.5.3): close to LVM under light fragmentation; degrades toward
+  radix when 2 MB page-table allocations cannot be satisfied.
+"""
+
+from repro.analysis import render_table
+from repro.mem.fragmentation import fragment_to_max_contiguity
+from repro.sim import SimConfig, Simulator, mean
+from repro.workloads import build_workload
+
+from conftest import bench_refs
+
+WORKLOADS = ("gups", "bfs", "mem$")
+
+
+def run_schemes(schemes, phys_mem=None, fragment=False, asap_success=1.0):
+    out = {}
+    for name in WORKLOADS:
+        workload = build_workload(name)
+        per = {}
+        for scheme in schemes:
+            cfg = SimConfig(num_refs=bench_refs())
+            cfg.asap_prefetch_success = asap_success
+            if phys_mem is not None:
+                cfg.phys_mem_bytes = phys_mem
+            sim = Simulator(scheme, workload, cfg)
+            if fragment and scheme in ("fpt",):
+                pass  # fragmentation handled via phys_mem + pre-frag below
+            per[scheme] = sim.run()
+        out[name] = per
+    return out
+
+
+def test_sec75_asap_and_midgard(benchmark):
+    results = benchmark.pedantic(
+        run_schemes, args=(("radix", "ecpt", "lvm", "asap", "midgard"),),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    speedups = {s: [] for s in ("ecpt", "lvm", "asap", "midgard")}
+    for name, per in results.items():
+        base = per["radix"].cycles
+        row = [name]
+        for scheme in ("ecpt", "lvm", "asap", "midgard"):
+            sp = base / per[scheme].cycles
+            speedups[scheme].append(sp)
+            row.append(sp)
+        rows.append(tuple(row))
+    print()
+    print(render_table(
+        ["workload", "ecpt", "lvm", "asap", "midgard"], rows,
+        title="Section 7.5 — prior-work speedups over radix (4KB)",
+    ))
+    # ASAP below both ECPT and LVM (paper: -3% / -8%).
+    assert mean(speedups["asap"]) < mean(speedups["ecpt"])
+    assert mean(speedups["asap"]) < mean(speedups["lvm"])
+    # Midgard's gain is modest and LVM clearly ahead (paper: +3% vs +14%).
+    assert mean(speedups["midgard"]) < mean(speedups["lvm"])
+
+
+def test_sec75_fpt_fragmentation(benchmark):
+    def run_fpt():
+        workload = build_workload("gups")
+        out = {}
+        # Light fragmentation: folds succeed.
+        cfg = SimConfig(num_refs=bench_refs())
+        out["radix"] = Simulator("radix", workload, cfg).run()
+        out["lvm"] = Simulator("lvm", workload, SimConfig(num_refs=bench_refs())).run()
+        out["fpt_light"] = Simulator(
+            "fpt", workload, SimConfig(num_refs=bench_refs())
+        ).run()
+        # Heavy fragmentation: no 2 MB blocks for page tables.
+        from repro.mem.buddy import BuddyAllocator
+        buddy = BuddyAllocator(8 << 30)
+        fragment_to_max_contiguity(buddy, 256 << 10)
+        sim = Simulator(
+            "fpt", workload, SimConfig(num_refs=bench_refs()), allocator=buddy
+        )
+        out["fpt_frag"] = sim.run()
+        out["fpt_frag_folds"] = sim.page_table.fold_success_rate
+        return out
+
+    out = benchmark.pedantic(run_fpt, rounds=1, iterations=1)
+    base = out["radix"].cycles
+    rows = [
+        ("lvm", base / out["lvm"].cycles),
+        ("fpt (light frag)", base / out["fpt_light"].cycles),
+        ("fpt (heavy frag)", base / out["fpt_frag"].cycles),
+    ]
+    print()
+    print(render_table(
+        ["scheme", "speedup over radix"], rows,
+        title="Section 7.5.3 — FPT vs fragmentation (gups)",
+    ))
+    print(f"fold success under heavy fragmentation: {out['fpt_frag_folds']:.2f}")
+    light = base / out["fpt_light"].cycles
+    heavy = base / out["fpt_frag"].cycles
+    lvm = base / out["lvm"].cycles
+    # Paper: LVM ~5% ahead of FPT in light fragmentation; FPT degrades
+    # toward radix when 2 MB allocations fail.
+    assert lvm >= light - 0.02
+    assert heavy < light
+    assert heavy < 1.05  # close to radix
+    assert out["fpt_frag_folds"] < 0.5

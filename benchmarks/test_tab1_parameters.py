@@ -1,0 +1,32 @@
+"""Table 1: architectural parameters.
+
+Renders the simulated configuration so it can be compared line by line
+with the paper's Table 1, and checks the structures under study use the
+paper's geometry.
+"""
+
+from repro.analysis import render_table
+from repro.mmu.tlb import TLBConfig
+from repro.mmu.walk_cache import CWC, LWC, RadixPWC
+from repro.sim import table1_rows
+
+
+def test_tab1_parameters(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print()
+    print(render_table(["parameter", "value"], rows, title="Table 1"))
+    # The hardware structures under study match Table 1 exactly.
+    pwc = RadixPWC()
+    assert len(pwc.levels) == 3
+    assert all(l.capacity == 32 for l in pwc.levels.values())
+    assert pwc.latency == 2
+    lwc = LWC()
+    assert lwc._lru.capacity == 16
+    assert lwc.latency == 2
+    cwc = CWC()
+    assert cwc.pmd.capacity == 16
+    assert cwc.pud.capacity == 2
+    tlb = TLBConfig()
+    assert tlb.l1_4k_entries == 64 and tlb.l1_4k_ways == 4
+    assert tlb.l1_2m_entries == 32
+    assert tlb.l2_entries_per_size == 2048 and tlb.l2_ways == 12

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the artifact-regeneration CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Analyses reproducing the paper's studies and characterizations."""
+
+from repro.analysis.area_model import (
+    HardwareComparison,
+    StructureCost,
+    compare_default,
+    lwc_cost,
+    pwc_entries_for_footprint,
+    radix_pwc_cost,
+    scalability_curve,
+)
+from repro.analysis.collisions import (
+    CollisionRow,
+    MemoryConsumptionRow,
+    build_lvm_for,
+    collision_study,
+    index_size_table,
+    memory_consumption_study,
+    scaling_study,
+)
+from repro.analysis.contiguity import (
+    ContiguityStudy,
+    median_profile,
+    run_contiguity_study,
+    run_fleet_study,
+)
+from repro.analysis.gap_coverage import (
+    GapCoverageRow,
+    allocator_divergence,
+    gap_coverage_study,
+    minimum_coverage,
+)
+from repro.analysis.figures import render_bars, render_cdf, render_grouped_bars
+from repro.analysis.report import bytes_human, render_series, render_table
+
+__all__ = [
+    "CollisionRow",
+    "ContiguityStudy",
+    "GapCoverageRow",
+    "HardwareComparison",
+    "MemoryConsumptionRow",
+    "StructureCost",
+    "allocator_divergence",
+    "build_lvm_for",
+    "bytes_human",
+    "collision_study",
+    "compare_default",
+    "gap_coverage_study",
+    "index_size_table",
+    "lwc_cost",
+    "median_profile",
+    "memory_consumption_study",
+    "minimum_coverage",
+    "pwc_entries_for_footprint",
+    "radix_pwc_cost",
+    "render_bars",
+    "render_cdf",
+    "render_grouped_bars",
+    "render_series",
+    "render_table",
+    "run_contiguity_study",
+    "run_fleet_study",
+    "scalability_curve",
+    "scaling_study",
+]

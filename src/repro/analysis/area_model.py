@@ -1,0 +1,130 @@
+"""Section 7.4 hardware characterization: area, power, storage.
+
+The paper implements the LVM page walker in RTL, synthesizes it in a
+commercial 22 nm PDK, and uses CACTI for the SRAM structures, reporting:
+
+* a page-walk model computation + LWC lookup completes in 2 cycles,
+* one LVM page walker: 0.000637 mm^2,
+* the LWC: 0.00364 mm^2 and 0.588 mW leakage,
+* versus radix PWCs: 3.0x storage bytes, 1.5x area, 1.9x power in
+  LVM's favour.
+
+We substitute a CACTI-style analytical model: small SRAM/CAM structures
+cost a fixed periphery term plus a per-bit term.  The two constants are
+fitted to the paper's published LWC and ratio numbers, then the model
+generalizes to other capacities — which is what powers the scalability
+ablation (radix PWCs must grow with memory footprint; the LWC does
+not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fixed_point import MODEL_BYTES
+
+# Tag widths (bits): ASID + VPN prefix for PWC entries; ASID + level +
+# offset for LWC entries.
+PWC_TAG_BITS = 40
+LWC_TAG_BITS = 48
+
+# CACTI-style linear fit: area = periphery + per-bit * bits.  Constants
+# are anchored so the default structures reproduce the paper's numbers
+# (LWC 0.00364 mm^2 / 0.588 mW; radix PWC 1.5x area, 1.9x power).
+AREA_PERIPHERY_UM2 = 2925.0
+AREA_PER_BIT_UM2 = 0.254
+LEAKAGE_PERIPHERY_UW = 380.0
+LEAKAGE_PER_BIT_UW = 0.0738
+
+#: Synthesized LVM walker datapath (one 64-bit multiplier + adder +
+#: control) at 22 nm.
+WALKER_AREA_MM2 = 0.000637
+#: Walker latency: model computation + LWC lookup (cycles at 2 GHz).
+WALKER_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """Area/power/storage of one MMU caching structure."""
+
+    name: str
+    entries: int
+    payload_bits_per_entry: int
+    tag_bits_per_entry: int
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.entries * self.payload_bits_per_entry // 8
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * (self.payload_bits_per_entry + self.tag_bits_per_entry)
+
+    @property
+    def area_mm2(self) -> float:
+        return (AREA_PERIPHERY_UM2 + AREA_PER_BIT_UM2 * self.total_bits) / 1e6
+
+    @property
+    def leakage_mw(self) -> float:
+        return (LEAKAGE_PERIPHERY_UW + LEAKAGE_PER_BIT_UW * self.total_bits) / 1e3
+
+
+def lwc_cost(entries: int = 16) -> StructureCost:
+    """The LVM Walk Cache: 16-byte models, fully associative."""
+    return StructureCost("LWC", entries, MODEL_BYTES * 8, LWC_TAG_BITS)
+
+
+def radix_pwc_cost(entries_per_level: int = 32, levels: int = 3) -> StructureCost:
+    """The radix page walk cache: 8-byte entries across three levels,
+    modelled as one combined structure (shared periphery), as the
+    paper's 1.5x area ratio implies."""
+    return StructureCost(
+        "RadixPWC", entries_per_level * levels, 64, PWC_TAG_BITS
+    )
+
+
+@dataclass
+class HardwareComparison:
+    """The headline ratios of section 7.4 (radix / LVM)."""
+
+    lwc: StructureCost
+    pwc: StructureCost
+
+    @property
+    def bytes_ratio(self) -> float:
+        return self.pwc.payload_bytes / self.lwc.payload_bytes
+
+    @property
+    def area_ratio(self) -> float:
+        return self.pwc.area_mm2 / self.lwc.area_mm2
+
+    @property
+    def power_ratio(self) -> float:
+        return self.pwc.leakage_mw / self.lwc.leakage_mw
+
+
+def compare_default() -> HardwareComparison:
+    return HardwareComparison(lwc_cost(), radix_pwc_cost())
+
+
+def pwc_entries_for_footprint(footprint_bytes: int, target_pmd_reach: float = 0.05) -> int:
+    """PWC entries radix needs at the PMD level to keep a given reach.
+
+    Radix page walk caches must scale with the footprint (each PMD
+    entry covers 2 MB); this drives the scalability comparison — LVM's
+    LWC stays at 16 entries because the whole learned index fits."""
+    needed = int(footprint_bytes * target_pmd_reach) // (2 << 20)
+    return max(32, needed)
+
+
+def scalability_curve(footprints_gb) -> dict:
+    """Area required vs. footprint for radix PWC and LWC (section 7.3
+    "future-proof" claim rendered as hardware cost)."""
+    rows = {}
+    for gb in footprints_gb:
+        entries = pwc_entries_for_footprint(gb << 30)
+        rows[gb] = {
+            "radix_pwc_mm2": radix_pwc_cost(entries_per_level=entries).area_mm2,
+            "lvm_lwc_mm2": lwc_cost().area_mm2,
+        }
+    return rows

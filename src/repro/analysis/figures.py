@@ -1,0 +1,93 @@
+"""ASCII figure rendering: bar charts and series for the harnesses.
+
+The paper's Figures 9-12 are grouped bar charts; the benches print
+tables for exactness, and these helpers add a visual rendering so a
+terminal diff against the paper's figures is possible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+BAR_WIDTH = 40
+
+
+def render_bars(
+    data: Dict[str, float],
+    title: Optional[str] = None,
+    reference: float = 1.0,
+    width: int = BAR_WIDTH,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bars with a reference marker (the radix = 1.0 line).
+
+    Bars are scaled to the max value; the reference value's position is
+    marked with '|' so over/under-unity reads instantly.
+    """
+    if not data:
+        return title or ""
+    label_width = max(len(k) for k in data)
+    peak = max(max(data.values()), reference) or 1.0
+    ref_col = min(width - 1, int(width * reference / peak))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in data.items():
+        filled = int(width * value / peak)
+        bar = []
+        for col in range(width):
+            if col == ref_col and col >= filled:
+                bar.append("|")
+            elif col < filled:
+                bar.append("#")
+            else:
+                bar.append(" ")
+        lines.append(
+            f"{name.ljust(label_width)}  {''.join(bar)} "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    title: Optional[str] = None,
+    reference: float = 1.0,
+) -> str:
+    """One bar block per group (per workload), same scale throughout."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (v for series in groups.values() for v in series.values()),
+        default=1.0,
+    )
+    peak = max(peak, reference)
+    for group, series in groups.items():
+        lines.append(f"[{group}]")
+        lines.append(
+            render_bars(series, reference=reference, width=BAR_WIDTH)
+        )
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: Sequence[float],
+    points: int = 10,
+    title: Optional[str] = None,
+    value_format: str = "{:.1f}",
+) -> str:
+    """A compact percentile table (latency-distribution figures)."""
+    ordered = sorted(values)
+    if not ordered:
+        return title or ""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i in range(points + 1):
+        quantile = i / points
+        idx = min(len(ordered) - 1, int(quantile * len(ordered)))
+        lines.append(
+            f"p{100 * quantile:5.1f}  {value_format.format(ordered[idx])}"
+        )
+    return "\n".join(lines)

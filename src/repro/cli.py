@@ -1,0 +1,235 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro fig2                 # gap-coverage study
+    python -m repro fig3                 # contiguity under fragmentation
+    python -m repro fig9 --refs 50000    # end-to-end speedups
+    python -m repro fig10|fig11|fig12    # MMU overhead / traffic / MPKI
+    python -m repro tab1                 # architectural parameters
+    python -m repro tab2                 # index sizes
+    python -m repro collisions           # 7.3 collision study
+    python -m repro scaling              # 7.3 memcached scaling
+    python -m repro hardware             # 7.4 area/power
+    python -m repro suite --refs 30000   # the full sweep, all metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    collision_study,
+    compare_default,
+    gap_coverage_study,
+    index_size_table,
+    render_table,
+    run_fleet_study,
+    scaling_study,
+)
+from repro.sim import SimConfig, mean, run_suite, table1_rows
+from repro.workloads import SUITE
+
+
+def _suite_results(args):
+    config = SimConfig(num_refs=args.refs)
+    names = args.workloads.split(",") if args.workloads else None
+    print(f"running sweep: {names or SUITE} x (radix, ecpt, lvm, ideal) "
+          f"x (4KB, THP), {args.refs} refs each...", file=sys.stderr)
+    return run_suite(workload_names=names, config=config, verbose=args.verbose)
+
+
+def cmd_fig2(args) -> None:
+    rows = gap_coverage_study()
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row.workload, {})[row.allocator] = row.coverage
+    print(render_table(
+        ["workload", "jemalloc", "tcmalloc"],
+        [(n, c.get("jemalloc", 0), c.get("tcmalloc", 0))
+         for n, c in by_workload.items()],
+        title="Figure 2 — gap=1 coverage",
+    ))
+
+
+def cmd_fig3(args) -> None:
+    profile = run_fleet_study(num_servers=5, mem_bytes=1 << 30)
+    print(render_table(
+        ["block size", "fraction of free memory"],
+        [(f"{s >> 10}KB", f) for s, f in profile.rows()],
+        title="Figure 3 — contiguously-allocatable free memory",
+    ))
+
+
+def _speedup_tables(results) -> None:
+    for thp in (False, True):
+        label = "THP" if thp else "4KB"
+        rows = []
+        for w in results.workloads():
+            rows.append((
+                w,
+                results.speedup(w, "ecpt", thp),
+                results.speedup(w, "lvm", thp),
+                results.speedup(w, "ideal", thp),
+            ))
+        print(render_table(
+            ["workload", "ecpt", "lvm", "ideal"], rows,
+            title=f"Figure 9 — speedup over radix ({label})",
+        ))
+        print(f"averages: ecpt={mean(r[1] for r in rows):.3f} "
+              f"lvm={mean(r[2] for r in rows):.3f} "
+              f"ideal={mean(r[3] for r in rows):.3f}\n")
+
+
+def cmd_fig9(args) -> None:
+    _speedup_tables(_suite_results(args))
+
+
+def _relative_tables(results, metric: str, title: str, **kw) -> None:
+    for thp in (False, True):
+        label = "THP" if thp else "4KB"
+        rows = []
+        for w in results.workloads():
+            fn = getattr(results, metric)
+            rows.append((w, fn(w, "ecpt", thp, **kw), fn(w, "lvm", thp, **kw)))
+        print(render_table(
+            ["workload", "ecpt", "lvm"], rows, title=f"{title} ({label})"
+        ))
+        print()
+
+
+def cmd_fig10(args) -> None:
+    _relative_tables(
+        _suite_results(args), "mmu_overhead_relative",
+        "Figure 10 — MMU overhead relative to radix",
+    )
+
+
+def cmd_fig11(args) -> None:
+    _relative_tables(
+        _suite_results(args), "walk_traffic_relative",
+        "Figure 11 — page-walk traffic relative to radix",
+    )
+
+
+def cmd_fig12(args) -> None:
+    results = _suite_results(args)
+    rows = []
+    for w in results.workloads():
+        rows.append((
+            w,
+            results.mpki_relative(w, "ecpt", False, "l2"),
+            results.mpki_relative(w, "lvm", False, "l2"),
+            results.mpki_relative(w, "ecpt", False, "l3"),
+            results.mpki_relative(w, "lvm", False, "l3"),
+        ))
+    print(render_table(
+        ["workload", "ecpt L2", "lvm L2", "ecpt L3", "lvm L3"], rows,
+        title="Figure 12 — MPKI relative to radix (4KB)",
+    ))
+
+
+def cmd_tab1(args) -> None:
+    print(render_table(["parameter", "value"], table1_rows(), title="Table 1"))
+
+
+def cmd_tab2(args) -> None:
+    names = args.workloads.split(",") if args.workloads else list(SUITE)
+    table = index_size_table(names)
+    print(render_table(
+        ["workload", "LVM 4KB (bytes)", "LVM THP (bytes)"],
+        [(n, c["4KB"], c["THP"]) for n, c in table.items()],
+        title="Table 2 — steady-state index size",
+    ))
+
+
+def cmd_collisions(args) -> None:
+    names = (args.workloads.split(",") if args.workloads
+             else ["bfs", "dc", "gups", "mem$", "MUMr"])
+    rows = [collision_study(n, num_lookups=args.refs) for n in names]
+    print(render_table(
+        ["workload", "LVM", "Blake2 table", "extra acc/collision"],
+        [(r.workload, r.lvm_collision_rate, r.hash_collision_rate,
+          r.lvm_avg_extra_accesses) for r in rows],
+        title="Section 7.3 — collision rates (4KB)",
+    ))
+
+
+def cmd_scaling(args) -> None:
+    sizes = scaling_study()
+    print(render_table(
+        ["memcached footprint", "LVM index (bytes)"],
+        [(f"{gb}GB", size) for gb, size in sizes.items()],
+        title="Section 7.3 — index size vs footprint",
+    ))
+
+
+def cmd_hardware(args) -> None:
+    cmp = compare_default()
+    print(render_table(
+        ["structure", "payload bytes", "area (mm^2)", "leakage (mW)"],
+        [
+            ("LVM LWC", cmp.lwc.payload_bytes, f"{cmp.lwc.area_mm2:.5f}",
+             f"{cmp.lwc.leakage_mw:.3f}"),
+            ("Radix PWC", cmp.pwc.payload_bytes, f"{cmp.pwc.area_mm2:.5f}",
+             f"{cmp.pwc.leakage_mw:.3f}"),
+        ],
+        title="Section 7.4 — hardware structures",
+    ))
+    print(f"ratios (radix/LVM): bytes={cmp.bytes_ratio:.2f} "
+          f"area={cmp.area_ratio:.2f} power={cmp.power_ratio:.2f}")
+
+
+def cmd_suite(args) -> None:
+    results = _suite_results(args)
+    _speedup_tables(results)
+    _relative_tables(results, "mmu_overhead_relative", "Figure 10 — MMU overhead")
+    _relative_tables(results, "walk_traffic_relative", "Figure 11 — walk traffic")
+
+
+COMMANDS = {
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "tab1": cmd_tab1,
+    "tab2": cmd_tab2,
+    "collisions": cmd_collisions,
+    "scaling": cmd_scaling,
+    "hardware": cmd_hardware,
+    "suite": cmd_suite,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures of the LVM paper.",
+    )
+    parser.add_argument(
+        "command", choices=sorted(COMMANDS), help="artifact to regenerate"
+    )
+    parser.add_argument(
+        "--refs", type=int, default=30_000,
+        help="trace references per simulation run (default 30000)",
+    )
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload subset (default: the full suite)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

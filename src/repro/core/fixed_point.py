@@ -1,0 +1,119 @@
+"""Q44.20 fixed-point arithmetic (paper section 4.5).
+
+LVM quantizes every learned-model parameter into a signed 64-bit value
+with a 44-bit integer part and a 20-bit fractional part.  The hardware
+page walker then needs only one integer multiply and one add per node.
+This module is the single place that knows the format; the rest of the
+library passes around ``FixedPoint`` values or raw 64-bit words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FRACTION_BITS = 20
+INTEGER_BITS = 44
+TOTAL_BITS = INTEGER_BITS + FRACTION_BITS
+SCALE = 1 << FRACTION_BITS
+
+_MAX_RAW = (1 << (TOTAL_BITS - 1)) - 1
+_MIN_RAW = -(1 << (TOTAL_BITS - 1))
+
+
+class FixedPointOverflow(ArithmeticError):
+    """A value does not fit in the Q44.20 format."""
+
+
+def _check(raw: int) -> int:
+    if raw > _MAX_RAW or raw < _MIN_RAW:
+        raise FixedPointOverflow(f"raw value {raw} outside Q44.20 range")
+    return raw
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """An immutable Q44.20 number backed by a Python int.
+
+    Arithmetic mirrors what a 64-bit fixed-point datapath would do:
+    multiplication keeps the full double-width product and shifts right
+    by the fraction width, truncating toward negative infinity (a
+    hardware arithmetic shift).
+    """
+
+    raw: int
+
+    # -- constructors ------------------------------------------------
+    @staticmethod
+    def from_float(value: float) -> "FixedPoint":
+        return FixedPoint(_check(int(round(value * SCALE))))
+
+    @staticmethod
+    def from_int(value: int) -> "FixedPoint":
+        return FixedPoint(_check(value << FRACTION_BITS))
+
+    @staticmethod
+    def from_raw(raw: int) -> "FixedPoint":
+        return FixedPoint(_check(raw))
+
+    # -- conversions -------------------------------------------------
+    def to_float(self) -> float:
+        return self.raw / SCALE
+
+    def floor(self) -> int:
+        """Integer part, rounding toward negative infinity.
+
+        This is the "round-down" the paper uses to turn a model output
+        into a child index or table slot.
+        """
+        return self.raw >> FRACTION_BITS
+
+    # -- arithmetic --------------------------------------------------
+    def __add__(self, other: "FixedPoint") -> "FixedPoint":
+        return FixedPoint(_check(self.raw + other.raw))
+
+    def __sub__(self, other: "FixedPoint") -> "FixedPoint":
+        return FixedPoint(_check(self.raw - other.raw))
+
+    def __mul__(self, other: "FixedPoint") -> "FixedPoint":
+        return FixedPoint(_check((self.raw * other.raw) >> FRACTION_BITS))
+
+    def mul_int(self, value: int) -> "FixedPoint":
+        """Multiply by a plain integer (e.g. a VPN) without pre-scaling.
+
+        ``a.mul_int(x)`` computes ``a * x`` exactly as the LVM walker
+        does: the integer operand is not converted to fixed point first,
+        so no precision is lost on large VPNs.
+        """
+        return FixedPoint(_check(self.raw * value))
+
+    def __neg__(self) -> "FixedPoint":
+        return FixedPoint(_check(-self.raw))
+
+    def __lt__(self, other: "FixedPoint") -> bool:
+        return self.raw < other.raw
+
+    def __le__(self, other: "FixedPoint") -> bool:
+        return self.raw <= other.raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FixedPoint({self.to_float():.6f})"
+
+
+def linear_predict(slope_raw: int, intercept_raw: int, x: int) -> int:
+    """Evaluate ``floor(a*x + b)`` with Q44.20 parameters and integer x.
+
+    This is the exact computation of the LVM page-walker datapath: one
+    64-bit multiply (slope × VPN), one add, one arithmetic right shift.
+    Exposed as a free function because the simulator calls it millions
+    of times; it avoids constructing FixedPoint objects on the hot path.
+    """
+    return (slope_raw * x + intercept_raw) >> FRACTION_BITS
+
+
+def quantize(value: float) -> int:
+    """Round a float model parameter to its Q44.20 raw representation."""
+    return _check(int(round(value * SCALE)))
+
+
+MODEL_BYTES = 16
+"""Storage for one model: 8-byte slope + 8-byte intercept (section 4.5)."""

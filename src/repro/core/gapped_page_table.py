@@ -1,0 +1,287 @@
+"""Gapped page tables (paper section 4.2.2).
+
+Each LVM leaf node owns a *gapped page table* (GPT): a small array of
+8-byte translation-entry slots, sized ``ga_scale`` times the number of
+keys it was trained over so that future insertions usually find an
+empty slot exactly where the model predicts.  GPTs are allocated from
+the physical allocator at whatever contiguity is available, so they are
+the only physically-contiguous structures LVM needs — and they can be
+as small as a single base page.
+
+Slot accounting: a slot is 8 bytes, so a 64-byte cache line holds 8
+slots.  Every operation reports the set of cache lines it touched; the
+hardware walker turns those into memory accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.types import PTE, CACHE_LINE_SIZE, PTE_SIZE
+
+SLOTS_PER_LINE = CACHE_LINE_SIZE // PTE_SIZE
+
+
+class GPTFullError(Exception):
+    """No free slot exists within the allowed displacement bound."""
+
+
+@dataclass
+class GPTLookup:
+    """Result of a bounded lookup in a gapped page table.
+
+    ``line_paddrs`` lists the physical addresses of the cache lines the
+    search touched, in probe order: the first is the predicted line (the
+    single access of a collision-free translation), the rest are the
+    additional accesses of collision resolution.
+    """
+
+    pte: Optional[PTE]
+    slot: int
+    line_paddrs: List[int]
+
+    @property
+    def hit(self) -> bool:
+        return self.pte is not None
+
+    @property
+    def lines_touched(self) -> int:
+        return len(self.line_paddrs)
+
+
+class GappedPageTable:
+    """A gapped array of translation entries owned by one leaf node."""
+
+    def __init__(self, num_slots: int, base_paddr: int):
+        if num_slots < 1:
+            raise ValueError("a gapped page table needs at least one slot")
+        self.base_paddr = base_paddr
+        self._slots: List[Optional[PTE]] = [None] * num_slots
+        self.occupied = 0
+        # Largest |actual - predicted| displacement of any live entry;
+        # bounds every lookup's search window.
+        self.max_displacement = 0
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_slots * PTE_SIZE
+
+    def slot_paddr(self, slot: int) -> int:
+        return self.base_paddr + slot * PTE_SIZE
+
+    def line_of(self, slot: int) -> int:
+        return self.slot_paddr(slot) // CACHE_LINE_SIZE
+
+    def _clamp(self, slot: int) -> int:
+        if slot < 0:
+            return 0
+        if slot >= self.num_slots:
+            return self.num_slots - 1
+        return slot
+
+    # -- mutation ------------------------------------------------------
+    def insert(self, predicted: int, pte: PTE, max_displacement: int) -> int:
+        """Place ``pte`` at or near ``predicted``.
+
+        Uses the paper's exponential search outward from the predicted
+        slot to find the nearest free slot, but refuses placements
+        farther than ``max_displacement`` (the caller then retrains the
+        leaf instead, keeping the lookup search window sound).
+
+        Returns the slot used.
+        """
+        center = self._clamp(predicted)
+        if self._slots[center] is None:
+            self._slots[center] = pte
+            self.occupied += 1
+            disp = abs(center - predicted)
+            if disp > self.max_displacement:
+                self.max_displacement = disp
+            return center
+        step = 1
+        while step <= max_displacement:
+            for slot in (center + step, center - step):
+                if 0 <= slot < self.num_slots and self._slots[slot] is None:
+                    self._slots[slot] = pte
+                    self.occupied += 1
+                    disp = abs(slot - predicted)
+                    if disp > self.max_displacement:
+                        self.max_displacement = disp
+                    return slot
+            step += 1
+        raise GPTFullError(
+            f"no free slot within {max_displacement} of predicted {predicted}"
+        )
+
+    def bulk_place(self, predictions, ptes) -> None:
+        """Place sorted entries by rightward packing: entry i goes to
+        ``max(prediction_i, previous_slot + 1)``.
+
+        Used when a leaf is built *past* the error bound (degraded
+        leaves at the guardrails): per-entry exponential search would
+        cost O(n * displacement) there, while packing is O(n) and keeps
+        entries in key order with the same worst-case displacement the
+        search window already accounts for.
+        """
+        cursor = -1
+        for predicted, pte in zip(predictions, ptes):
+            slot = predicted if predicted > cursor else cursor + 1
+            slot = self._clamp(slot)
+            while slot < self.num_slots and self._slots[slot] is not None:
+                slot += 1
+            if slot >= self.num_slots:
+                raise GPTFullError("bulk placement ran off the table")
+            self._slots[slot] = pte
+            self.occupied += 1
+            cursor = slot
+            disp = abs(slot - predicted)
+            if disp > self.max_displacement:
+                self.max_displacement = disp
+
+    def remove(self, slot: int) -> PTE:
+        pte = self._slots[slot]
+        if pte is None:
+            raise KeyError(f"slot {slot} is empty")
+        # Section 5.2 "Free": the slot is cleared but the gap is kept so
+        # later allocations can reuse it; the model is untouched.
+        self._slots[slot] = None
+        self.occupied -= 1
+        return pte
+
+    def expand(self, extra_slots: int, new_base_paddr: Optional[int] = None) -> None:
+        """Grow the table for an out-of-bounds rescale (section 4.3.4).
+
+        Existing entries keep their slots, so no retraining and no LWC
+        or TLB flush is needed.  ``new_base_paddr`` lets the caller
+        model a reallocation; slot *indexes* are what the model
+        predicts, so moving the base is transparent to the model.
+        """
+        if extra_slots < 0:
+            raise ValueError("cannot shrink a gapped page table")
+        self._slots.extend([None] * extra_slots)
+        if new_base_paddr is not None:
+            self.base_paddr = new_base_paddr
+
+    # -- lookup ----------------------------------------------------------
+    def lookup(self, predicted: int, query_vpn: int, window: int) -> GPTLookup:
+        """Find the entry translating ``query_vpn`` near ``predicted``.
+
+        Implements the bounded collision-resolution search of section
+        4.3.3, extended with the predecessor semantics of section 4.4:
+        an entry matches if its mapping *covers* the query VPN, which
+        rounds queries inside a huge page down to the huge page's entry.
+
+        ``window`` bounds the scan (slots on each side).  The number of
+        distinct cache lines touched is reported so the walker can
+        account for every additional memory access.
+        """
+        center = self._clamp(predicted)
+        seen = set()
+        line_paddrs: List[int] = []
+
+        def probe(slot: int) -> Optional[PTE]:
+            line = self.line_of(slot)
+            if line not in seen:
+                seen.add(line)
+                line_paddrs.append(line * CACHE_LINE_SIZE)
+            entry = self._slots[slot]
+            if entry is not None and entry.covers(query_vpn):
+                return entry
+            return None
+
+        found = probe(center)
+        if found is not None:
+            return GPTLookup(found, center, line_paddrs)
+        step = 1
+        while step <= window:
+            for slot in (center + step, center - step):
+                if 0 <= slot < self.num_slots:
+                    found = probe(slot)
+                    if found is not None:
+                        return GPTLookup(found, slot, line_paddrs)
+            step += 1
+        return GPTLookup(None, -1, line_paddrs)
+
+    def lookup_sorted(self, predicted: int, query_vpn: int, window: int) -> GPTLookup:
+        """Bounded *binary* search for the entry covering ``query_vpn``.
+
+        Usable when entries are in key order (bulk-packed degraded
+        leaves): this is the paper's "binary search ... within the
+        model's min and max error range" (section 2.3 / 4.3.3), costing
+        O(log window) line touches instead of a linear scan.
+        """
+        lo = max(0, predicted - window)
+        hi = min(self.num_slots - 1, predicted + window)
+        seen = set()
+        line_paddrs: List[int] = []
+
+        def touch(slot: int):
+            line = self.line_of(slot)
+            if line not in seen:
+                seen.add(line)
+                line_paddrs.append(line * CACHE_LINE_SIZE)
+
+        def entry_at_or_left(slot: int):
+            """Nearest occupied slot at or left of ``slot`` within lo."""
+            while slot >= lo:
+                touch(slot)
+                if self._slots[slot] is not None:
+                    return slot
+                slot -= 1
+            return None
+
+        # Binary search for the rightmost entry with vpn <= query.
+        best = None
+        low, high = lo, hi
+        while low <= high:
+            mid = (low + high) // 2
+            probe = entry_at_or_left(mid)
+            if probe is None:
+                low = mid + 1
+                continue
+            entry = self._slots[probe]
+            if entry.vpn <= query_vpn:
+                best = probe
+                low = mid + 1
+            else:
+                high = probe - 1
+        if best is not None:
+            entry = self._slots[best]
+            if entry.covers(query_vpn):
+                return GPTLookup(entry, best, line_paddrs)
+        return GPTLookup(None, -1, line_paddrs)
+
+    def find_slot(self, predicted: int, vpn: int, window: int) -> int:
+        """Slot index holding the entry whose first VPN is ``vpn``.
+
+        Used by unmap and permission updates, which must locate the
+        exact entry rather than any covering mapping.
+        """
+        center = self._clamp(predicted)
+        entry = self._slots[center]
+        if entry is not None and entry.vpn == vpn:
+            return center
+        step = 1
+        while step <= window:
+            for slot in (center + step, center - step):
+                if 0 <= slot < self.num_slots:
+                    entry = self._slots[slot]
+                    if entry is not None and entry.vpn == vpn:
+                        return slot
+            step += 1
+        raise KeyError(f"vpn {vpn:#x} not present near slot {predicted}")
+
+    def entries(self) -> List[Tuple[int, PTE]]:
+        """All (slot, entry) pairs, in slot order."""
+        return [(i, e) for i, e in enumerate(self._slots) if e is not None]
+
+    def clear(self) -> None:
+        self._slots = [None] * self.num_slots
+        self.occupied = 0
+        self.max_displacement = 0

@@ -1,0 +1,73 @@
+"""Spline-point estimation for the cost model (paper section 4.2.3).
+
+The cost model needs a quick estimate of how many children a node should
+have.  Following RadixSpline [Kipf et al. 2020], we compute *spline
+points*: a greedy error-bounded piecewise-linear approximation of the
+key CDF.  Each spline point starts a new linear segment; the number of
+segments measures the complexity of the key distribution inside the
+node, and the paper uses it as the seed value around which the cost
+model searches (±2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def spline_points(keys: Sequence[int], max_error: int = 32) -> List[int]:
+    """Greedy one-pass spline over sorted ``keys``.
+
+    Returns the indexes (into ``keys``) of the spline knots.  A knot is
+    placed whenever extending the current linear segment would let some
+    covered key's predicted position drift more than ``max_error`` slots
+    from its true position.  The algorithm is the classic shrinking-cone
+    construction: maintain the feasible slope interval for the segment
+    and cut when it empties.
+    """
+    n = len(keys)
+    if n == 0:
+        return []
+    if n <= 2:
+        return [0] if n == 1 else [0, n - 1]
+
+    knots = [0]
+    anchor_idx = 0
+    anchor_key = keys[0]
+    lo_slope = float("-inf")
+    hi_slope = float("inf")
+    for i in range(1, n):
+        dx = keys[i] - anchor_key
+        dy = i - anchor_idx
+        if dx == 0:
+            continue
+        # Feasible slopes keep this point within +-max_error positions.
+        cand_lo = (dy - max_error) / dx
+        cand_hi = (dy + max_error) / dx
+        new_lo = max(lo_slope, cand_lo)
+        new_hi = min(hi_slope, cand_hi)
+        if new_lo > new_hi:
+            # Cone collapsed: start a new segment at the previous point.
+            knots.append(i - 1)
+            anchor_idx = i - 1
+            anchor_key = keys[i - 1]
+            dx = keys[i] - anchor_key
+            if dx > 0:
+                lo_slope = (1 - max_error) / dx
+                hi_slope = (1 + max_error) / dx
+            else:
+                lo_slope, hi_slope = float("-inf"), float("inf")
+        else:
+            lo_slope, hi_slope = new_lo, new_hi
+    if knots[-1] != n - 1:
+        knots.append(n - 1)
+    return knots
+
+
+def num_segments(keys: Sequence[int], max_error: int = 32) -> int:
+    """Number of linear segments needed to cover ``keys``.
+
+    This is the cost model's estimate of the useful child count for a
+    node (the paper evaluates child counts within ±2 of this value).
+    """
+    pts = spline_points(keys, max_error)
+    return max(1, len(pts) - 1)

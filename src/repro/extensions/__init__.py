@@ -1,0 +1,19 @@
+"""Section 9 future-work prototypes built on the LVM framework."""
+
+from repro.extensions.learned_cache import (
+    ConflictStudy,
+    LearnedCache,
+    LearnedSetIndex,
+    conflict_study,
+    hot_region_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "ConflictStudy",
+    "LearnedCache",
+    "LearnedSetIndex",
+    "conflict_study",
+    "hot_region_trace",
+    "strided_trace",
+]

@@ -1,0 +1,28 @@
+"""OS layer: address spaces, THP policy, ASLR, processes, LVM manager."""
+
+from repro.kernel.aslr import ASLRLayout
+from repro.kernel.kernel_space import (
+    KERNEL_BASE_VPN,
+    SharedKernelIndex,
+    is_kernel_vpn,
+)
+from repro.kernel.manager import LVMManager, ManagementReport
+from repro.kernel.process import Process, ProcessStats
+from repro.kernel.thp import MappingPlan, plan_vma_mappings, summarize
+from repro.kernel.vma import VMA, AddressSpace
+
+__all__ = [
+    "ASLRLayout",
+    "KERNEL_BASE_VPN",
+    "SharedKernelIndex",
+    "is_kernel_vpn",
+    "AddressSpace",
+    "LVMManager",
+    "ManagementReport",
+    "MappingPlan",
+    "Process",
+    "ProcessStats",
+    "VMA",
+    "plan_vma_mappings",
+    "summarize",
+]

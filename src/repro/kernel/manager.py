@@ -1,0 +1,158 @@
+"""The LVM OS manager — our analogue of the paper's Linux prototype
+(section 5.3: kernel 5.15 streaming map/unmap operations to a userspace
+agent that maintains the learned index).
+
+The manager wraps a :class:`~repro.core.LearnedIndex` behind the
+PageTable interface so a :class:`~repro.kernel.process.Process` can use
+LVM exactly like any other scheme, and it accounts for every
+management cost the paper reports in section 7.3: initialization,
+insertions, rescales, local retrains, full rebuilds, and the resulting
+LWC flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import LVMConfig
+from repro.core.learned_index import LearnedIndex
+from repro.core.rebase import AddressSpaceRebaser, cluster_regions
+from repro.mem.allocator import PhysicalAllocator
+from repro.types import PTE, TranslationError
+
+
+@dataclass
+class ManagementReport:
+    """Section 7.3 "LVM Overheads in the OS" summary."""
+
+    management_time_s: float
+    full_rebuilds: int
+    local_retrains: int
+    rescales: int
+    lwc_flushes: int
+    max_retrain_time_s: float
+    avg_retrain_time_s: float
+
+    def overhead_fraction(self, runtime_s: float) -> float:
+        if runtime_s <= 0:
+            return 0.0
+        return self.management_time_s / runtime_s
+
+
+class LVMManager:
+    """Per-process LVM state maintained by the OS."""
+
+    def __init__(
+        self,
+        allocator: Optional[PhysicalAllocator] = None,
+        config: Optional[LVMConfig] = None,
+    ):
+        self.index = LearnedIndex(allocator, config)
+        self._batched: List[PTE] = []
+        self._batching = False
+
+    # -- bulk initialization -------------------------------------------
+    def begin_batch(self) -> None:
+        """Defer index construction while the process's initial VMAs
+        stream in (process startup maps thousands of pages; the OS
+        builds the index once at the end, section 4.3.1)."""
+        self._batching = True
+
+    def end_batch(self) -> None:
+        self._batching = False
+        if self._batched:
+            existing = self.index.mappings()
+            self._rebuild_rebaser(existing + self._batched)
+            self.index.bulk_build(existing + self._batched)
+            self._batched = []
+
+    def _rebuild_rebaser(self, ptes: List[PTE]) -> None:
+        """Program the ASLR rebase registers from the current segment
+        layout (section 5.2): cluster mappings into regions and pack
+        them into a compact canonical space so the Q44.20 models stay
+        well-conditioned regardless of randomization."""
+        ordered = sorted(ptes, key=lambda p: p.vpn)
+        if not ordered:
+            return
+        regions = cluster_regions(
+            [p.vpn for p in ordered],
+            [p.page_size.pages_4k for p in ordered],
+        )
+        self.index.rebaser = AddressSpaceRebaser(regions)
+
+    # -- PageTable interface ---------------------------------------------
+    def map(self, pte: PTE) -> None:
+        if self._batching:
+            self._batched.append(pte)
+            return
+        if not self.index.rebaser.in_headroom(pte.vpn):
+            # New segment outside every rebased region: reprogram the
+            # rebase registers and rebuild (rare; program start-up or a
+            # fresh far mmap arena).
+            all_ptes = self.index.mappings() + [pte]
+            self._rebuild_rebaser(all_ptes)
+            self.index.bulk_build(all_ptes)
+            self.index.stats.full_rebuilds += 1
+            self.index.stats.lwc_flushes += 1
+            return
+        self.index.insert(pte)
+
+    def unmap(self, vpn: int) -> PTE:
+        if self._batching:
+            for i, pte in enumerate(self._batched):
+                if pte.vpn == vpn:
+                    return self._batched.pop(i)
+            raise TranslationError(f"VPN {vpn:#x} is not mapped")
+        return self.index.remove(vpn)
+
+    def walk(self, vpn: int):
+        return self.index.lookup(vpn)
+
+    def find(self, vpn: int) -> Optional[PTE]:
+        return self.index.find(vpn)
+
+    # -- software PTE updates (section 5.2, "Software lookup") ---------
+    def set_accessed(self, vpn: int) -> None:
+        pte = self.index.find(vpn)
+        if pte is None:
+            raise TranslationError(f"VPN {vpn:#x} is not mapped")
+        pte.accessed = True
+
+    def set_dirty(self, vpn: int) -> None:
+        pte = self.index.find(vpn)
+        if pte is None:
+            raise TranslationError(f"VPN {vpn:#x} is not mapped")
+        pte.dirty = True
+
+    def change_protection(self, vpn: int, perms) -> None:
+        """mprotect-style permission change: PTE modified in place, so
+        a TLB shootdown (not an index change) is required."""
+        pte = self.index.find(vpn)
+        if pte is None:
+            raise TranslationError(f"VPN {vpn:#x} is not mapped")
+        pte.perms = perms
+
+    def reclaim(self) -> int:
+        """Rebuild the index to release gapped-table space after a
+        peak-to-steady-state drop (section 7.3).  Flushes the LWC (a
+        rebuild changes every model).  Returns bytes reclaimed."""
+        return self.index.compact()
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def table_bytes(self) -> int:
+        return self.index.table_bytes
+
+    def report(self) -> ManagementReport:
+        stats = self.index.stats
+        times = stats.retrain_times_s
+        return ManagementReport(
+            management_time_s=stats.management_time_s,
+            full_rebuilds=stats.full_rebuilds,
+            local_retrains=stats.local_retrains,
+            rescales=stats.rescales,
+            lwc_flushes=stats.lwc_flushes,
+            max_retrain_time_s=max(times) if times else 0.0,
+            avg_retrain_time_s=sum(times) / len(times) if times else 0.0,
+        )

@@ -1,0 +1,116 @@
+"""A process: address space + translation scheme + fault handling.
+
+This is the glue the paper's Linux prototype provides (section 5.3): it
+streams map/unmap operations from the VMA layer into whichever page
+table backs the process — radix, ECPT, FPT, ideal, or LVM via the
+:class:`~repro.kernel.manager.LVMManager` — assigns physical frames,
+and services page faults by mapping on first access (demand paging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.thp import MappingPlan, plan_vma_mappings
+from repro.kernel.vma import VMA, AddressSpace
+from repro.mem.allocator import BumpAllocator, PhysicalAllocator
+from repro.types import PTE, BASE_PAGE_SIZE, PageSize, TranslationError
+
+
+@dataclass
+class ProcessStats:
+    faults: int = 0
+    mapped_pages: int = 0
+    huge_mappings: int = 0
+    shootdowns: int = 0
+
+
+class Process:
+    """One simulated process with demand paging."""
+
+    def __init__(
+        self,
+        page_table,
+        allocator: Optional[PhysicalAllocator] = None,
+        asid: int = 0,
+        thp: bool = False,
+        thp_coverage: float = 0.9,
+    ):
+        self.page_table = page_table
+        self.allocator = allocator or BumpAllocator()
+        self.asid = asid
+        self.thp = thp
+        self.thp_coverage = thp_coverage
+        self.address_space = AddressSpace()
+        self.stats = ProcessStats()
+        self._next_ppn = 1 << 20  # frame numbers for data pages
+
+    # -- physical frames ----------------------------------------------
+    def _alloc_frames(self, page_size: PageSize) -> int:
+        """Assign physical frames for one mapping; returns the PPN.
+
+        Data frames come from a simple per-process cursor: what matters
+        for the translation study is the *page table* layout, and a
+        bump cursor gives all schemes identical data-cache behaviour.
+        """
+        ppn = self._next_ppn
+        self._next_ppn += page_size.pages_4k
+        return ppn
+
+    # -- mapping ---------------------------------------------------------
+    def mmap(self, vma: VMA, populate: bool = True) -> VMA:
+        """Create a VMA; with ``populate`` pre-fault all of it (the
+        simulator's region of interest starts after initialization)."""
+        self.address_space.mmap(vma)
+        if populate:
+            self.populate(vma)
+        return vma
+
+    def populate(self, vma: VMA) -> List[MappingPlan]:
+        plans = plan_vma_mappings(vma, self.thp, self.thp_coverage)
+        for plan in plans:
+            self._map_one(plan, vma)
+        return plans
+
+    def _map_one(self, plan: MappingPlan, vma: VMA) -> PTE:
+        ppn = self._alloc_frames(plan.page_size)
+        pte = PTE(
+            vpn=plan.vpn, ppn=ppn, page_size=plan.page_size, perms=vma.perms
+        )
+        self.page_table.map(pte)
+        self.stats.mapped_pages += plan.page_size.pages_4k
+        if plan.page_size is not PageSize.SIZE_4K:
+            self.stats.huge_mappings += 1
+        return pte
+
+    def munmap(self, start_vpn: int, mmu=None) -> None:
+        """Remove a VMA, unmapping every translation inside it.
+
+        A TLB shootdown is issued per removed translation when an MMU
+        is attached (section 5.2, "TLB Shootdowns").
+        """
+        vma = self.address_space.munmap(start_vpn)
+        vpn = vma.start_vpn
+        while vpn < vma.end_vpn:
+            pte = self.page_table.find(vpn)
+            if pte is not None and pte.vpn == vpn:
+                self.page_table.unmap(vpn)
+                self.stats.mapped_pages -= pte.page_size.pages_4k
+                if mmu is not None:
+                    mmu.invalidate(vpn, self.asid)
+                self.stats.shootdowns += 1
+                vpn += pte.page_size.pages_4k
+            else:
+                vpn += 1
+
+    # -- faults -----------------------------------------------------------
+    def handle_fault(self, va: int) -> PTE:
+        """Demand-page a first touch; raises on a true segfault."""
+        vpn = va // BASE_PAGE_SIZE
+        vma = self.address_space.find(vpn)
+        if vma is None:
+            raise TranslationError(f"segfault: VA {va:#x} is not mapped")
+        self.stats.faults += 1
+        plan = MappingPlan(vpn, PageSize.SIZE_4K)
+        return self._map_one(plan, vma)

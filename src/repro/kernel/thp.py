@@ -1,0 +1,89 @@
+"""Transparent-huge-page policy (paper section 6.3's THP configuration).
+
+Linux's khugepaged backs 2 MB-aligned, fully-mapped spans of anonymous
+VMAs with huge pages when an order-9 physical block is available.  The
+policy here does the same over our VMAs: given a VMA and the physical
+allocator's state, emit the mix of 2 MB and 4 KB mappings for it.
+``coverage`` caps how much of a VMA THP may back (real systems rarely
+reach 100% because of partial spans, mprotect splits, and allocation
+failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.kernel.vma import VMA
+from repro.types import PageSize
+
+HUGE_PAGES_4K = PageSize.SIZE_2M.pages_4k  # 512
+
+
+@dataclass(frozen=True)
+class MappingPlan:
+    """One physical mapping decision: (first VPN, page size)."""
+
+    vpn: int
+    page_size: PageSize
+
+
+def plan_vma_mappings(
+    vma: VMA,
+    thp: bool,
+    coverage: float = 0.9,
+    min_huge_span: int = HUGE_PAGES_4K,
+) -> List[MappingPlan]:
+    """Mapping plan for a VMA: huge pages where THP applies, 4 KB
+    elsewhere.
+
+    ``coverage`` is the fraction of huge-eligible spans actually backed
+    by huge pages (the rest deliberately stays 4 KB, modelling spans
+    khugepaged has not collapsed).  Deterministic: every ``k``-th
+    eligible huge span is skipped so runs are reproducible.
+    """
+    plans: List[MappingPlan] = []
+    collapsed = _vma_collapsed(vma, coverage)
+    if not thp or vma.pages < min_huge_span or vma.file_backed or not collapsed:
+        return [
+            MappingPlan(v, PageSize.SIZE_4K)
+            for v in range(vma.start_vpn, vma.end_vpn)
+        ]
+    first_aligned = -(-vma.start_vpn // HUGE_PAGES_4K) * HUGE_PAGES_4K
+    last_aligned = (vma.end_vpn // HUGE_PAGES_4K) * HUGE_PAGES_4K
+    # Head: unaligned prefix stays 4 KB.
+    plans.extend(
+        MappingPlan(v, PageSize.SIZE_4K)
+        for v in range(vma.start_vpn, min(first_aligned, vma.end_vpn))
+    )
+    for span_start in range(first_aligned, last_aligned, HUGE_PAGES_4K):
+        plans.append(MappingPlan(span_start, PageSize.SIZE_2M))
+    # Tail: unaligned suffix stays 4 KB.
+    plans.extend(
+        MappingPlan(v, PageSize.SIZE_4K)
+        for v in range(max(last_aligned, vma.start_vpn), vma.end_vpn)
+    )
+    return plans
+
+
+def _vma_collapsed(vma: VMA, coverage: float) -> bool:
+    """Whether khugepaged has collapsed this whole VMA.
+
+    Real THP coverage is region-granular: khugepaged either collapsed a
+    VMA's huge-aligned interior or has not gotten to it yet — it does
+    not leave periodic 4 KB islands inside huge regions.  A
+    deterministic per-VMA hash keeps ``coverage`` of the eligible VMAs
+    collapsed, reproducibly.
+    """
+    if coverage >= 1.0:
+        return True
+    if coverage <= 0.0:
+        return False
+    spread = ((vma.start_vpn * 2654435761) & 0xFFFF) / 65536.0
+    return spread < coverage
+
+
+def summarize(plans: List[MappingPlan]) -> Tuple[int, int]:
+    """(huge mappings, 4 KB mappings) in a plan list."""
+    huge = sum(1 for p in plans if p.page_size is PageSize.SIZE_2M)
+    return huge, len(plans) - huge

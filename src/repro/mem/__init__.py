@@ -1,0 +1,25 @@
+"""Physical memory substrate: buddy allocator and fragmentation tools."""
+
+from repro.mem.allocator import BumpAllocator, OutOfPhysicalMemory, PhysicalAllocator
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import (
+    FIGURE3_SIZES,
+    ContiguityProfile,
+    datacenter_churn,
+    fragment_to_fmfi,
+    fragment_to_max_contiguity,
+    measure_contiguity,
+)
+
+__all__ = [
+    "FIGURE3_SIZES",
+    "BuddyAllocator",
+    "BumpAllocator",
+    "ContiguityProfile",
+    "OutOfPhysicalMemory",
+    "PhysicalAllocator",
+    "datacenter_churn",
+    "fragment_to_fmfi",
+    "fragment_to_max_contiguity",
+    "measure_contiguity",
+]

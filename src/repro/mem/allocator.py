@@ -1,0 +1,79 @@
+"""Physical-memory allocator protocol used by every page-table scheme.
+
+LVM queries the allocator for available contiguity before sizing its
+gapped page tables (paper section 4.3.2); radix/ECPT allocate their
+tables through the same interface so all schemes see the same physical
+memory conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+class OutOfPhysicalMemory(Exception):
+    """The allocator cannot satisfy a request."""
+
+
+@runtime_checkable
+class PhysicalAllocator(Protocol):
+    """Minimal allocator interface the translation schemes rely on."""
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` of physically-contiguous memory.
+
+        Returns the base physical address.  Raises
+        :class:`OutOfPhysicalMemory` if no contiguous block fits.
+        """
+        ...
+
+    def free(self, paddr: int, nbytes: int) -> None:
+        """Return a previously allocated block."""
+        ...
+
+    def max_contiguous_bytes(self) -> int:
+        """Largest contiguous block immediately allocatable.
+
+        This is LVM's "query the OS allocator for physical contiguity"
+        (e.g. the highest non-empty buddy order in Linux).
+        """
+        ...
+
+
+class BumpAllocator:
+    """Infinite, never-fragmented allocator for tests and fast studies.
+
+    Hands out addresses from a monotonically increasing cursor and
+    reports effectively unlimited contiguity.  ``free`` only tracks
+    balance so leak assertions stay possible.
+    """
+
+    def __init__(self, base: int = 1 << 30, contiguity_cap: int = 1 << 40):
+        self._cursor = base
+        self._contiguity_cap = contiguity_cap
+        self.allocated_bytes = 0
+        self.freed_bytes = 0
+
+    def alloc(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if nbytes > self._contiguity_cap:
+            raise OutOfPhysicalMemory(
+                f"request of {nbytes} exceeds contiguity cap {self._contiguity_cap}"
+            )
+        # Keep blocks cache-line aligned so walk accesses are realistic.
+        self._cursor = (self._cursor + 63) & ~63
+        paddr = self._cursor
+        self._cursor += nbytes
+        self.allocated_bytes += nbytes
+        return paddr
+
+    def free(self, paddr: int, nbytes: int) -> None:
+        self.freed_bytes += nbytes
+
+    def max_contiguous_bytes(self) -> int:
+        return self._contiguity_cap
+
+    @property
+    def live_bytes(self) -> int:
+        return self.allocated_bytes - self.freed_bytes

@@ -1,0 +1,36 @@
+"""Hardware MMU model: caches, TLBs, walk caches, walkers."""
+
+from repro.mmu.cache import Cache
+from repro.mmu.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mmu.mmu import MMU, MMUStats
+from repro.mmu.tlb import TLBConfig, TLBHierarchy
+from repro.mmu.walk_cache import CWC, LWC, RadixPWC
+from repro.mmu.walker import (
+    ASAPWalker,
+    ECPTWalker,
+    FPTWalker,
+    IdealWalker,
+    LVMWalker,
+    RadixWalker,
+    WalkOutcome,
+)
+
+__all__ = [
+    "ASAPWalker",
+    "CWC",
+    "Cache",
+    "ECPTWalker",
+    "FPTWalker",
+    "HierarchyConfig",
+    "IdealWalker",
+    "LWC",
+    "LVMWalker",
+    "MMU",
+    "MMUStats",
+    "MemoryHierarchy",
+    "RadixPWC",
+    "RadixWalker",
+    "TLBConfig",
+    "TLBHierarchy",
+    "WalkOutcome",
+]

@@ -1,0 +1,136 @@
+"""The L1/L2/L3 + DRAM memory hierarchy (Table 1).
+
+``access`` walks a physical address down the levels, filling on the way
+back, and returns the load-to-use latency in cycles.  Page-table
+walkers connect at the L2 by default (the paper's baseline); section
+7.2's "Connecting PTW to L1/L2 cache" study flips ``walker_entry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mmu.cache import Cache
+
+
+@dataclass
+class HierarchyConfig:
+    """Cache geometry and latencies; defaults mirror Table 1."""
+
+    l1_size: int = 32 << 10
+    l1_ways: int = 8
+    l1_latency: int = 1
+    l2_size: int = 1 << 20
+    l2_ways: int = 8
+    l2_latency: int = 20
+    l3_size: int = 2 << 20
+    l3_ways: int = 16
+    l3_latency: int = 56
+    dram_latency: int = 160  # DDR4-3200-class load latency at 2 GHz
+    walker_entry: str = "l2"  # where page-walk accesses enter ("l1"/"l2")
+    # Next-line prefetch degree for demand (data) accesses.  Modern
+    # cores hide most streaming misses behind stride prefetchers;
+    # without this, streaming workloads (DC, PageRank sweeps, MUMmer
+    # scans) would look memory-bound in a way real hardware is not.
+    prefetch_degree: int = 2
+
+    @staticmethod
+    def scaled(factor: int) -> "HierarchyConfig":
+        """Capacities divided by ``factor`` (latencies unchanged).
+
+        The simulations scale workload footprints down by
+        ``FOOTPRINT_SCALE`` to fit one machine; shrinking cache
+        capacities by a related factor preserves the paper's
+        footprint-to-cache *pressure* ratio, which is what determines
+        where page-table entries and upper-level nodes actually hit.
+        """
+        base = HierarchyConfig()
+        def shrink(size: int, ways: int) -> int:
+            return max(ways * 64 * 4, size // factor)
+        return HierarchyConfig(
+            l1_size=shrink(base.l1_size, base.l1_ways),
+            l1_ways=base.l1_ways,
+            l1_latency=base.l1_latency,
+            l2_size=shrink(base.l2_size, base.l2_ways),
+            l2_ways=base.l2_ways,
+            l2_latency=base.l2_latency,
+            l3_size=shrink(base.l3_size, base.l3_ways),
+            l3_ways=base.l3_ways,
+            l3_latency=base.l3_latency,
+            dram_latency=base.dram_latency,
+            walker_entry=base.walker_entry,
+        )
+
+
+class MemoryHierarchy:
+    """Three cache levels backed by fixed-latency DRAM."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig()
+        c = self.config
+        self.l1 = Cache("L1D", c.l1_size, c.l1_ways, c.l1_latency)
+        self.l2 = Cache("L2", c.l2_size, c.l2_ways, c.l2_latency)
+        self.l3 = Cache("L3", c.l3_size, c.l3_ways, c.l3_latency)
+        self.dram_accesses = 0
+
+    def _chain(self, entry: str) -> List[Cache]:
+        if entry == "l1":
+            return [self.l1, self.l2, self.l3]
+        if entry == "l2":
+            return [self.l2, self.l3]
+        if entry == "l3":
+            return [self.l3]
+        raise ValueError(f"unknown entry level {entry!r}")
+
+    def access(self, paddr: int, entry: str = "l1", is_walk: bool = False) -> int:
+        """Access a physical address; returns latency in cycles."""
+        latency, _ = self.access_info(paddr, entry, is_walk)
+        return latency
+
+    def access_info(
+        self, paddr: int, entry: str = "l1", is_walk: bool = False
+    ) -> "tuple[int, str]":
+        """Access a physical address; returns (latency, level hit)."""
+        for cache in self._chain(entry):
+            if cache.access(paddr, is_walk=is_walk):
+                return cache.latency, cache.name
+        self.dram_accesses += 1
+        if not is_walk and self.config.prefetch_degree > 0 and entry == "l1":
+            self._prefetch(paddr)
+        return self.config.l3_latency + self.config.dram_latency, "DRAM"
+
+    def _prefetch(self, paddr: int) -> None:
+        """Next-line prefetch on a demand miss: fill the following
+        lines without charging latency (they arrive before use in a
+        stream; useless fills for random traffic just add mild
+        pollution, as on real hardware)."""
+        line = paddr - (paddr % 64)
+        for step in range(1, self.config.prefetch_degree + 1):
+            target = line + step * 64
+            for cache in (self.l1, self.l2, self.l3):
+                set_idx, tag = cache._locate(target)
+                cache_set = cache._sets.setdefault(set_idx, {})
+                if tag in cache_set:
+                    del cache_set[tag]
+                elif len(cache_set) >= cache.ways:
+                    cache_set.pop(next(iter(cache_set)))
+                cache_set[tag] = None
+
+    def walk_access(self, paddr: int) -> int:
+        """A page-walk access, entering at the configured level."""
+        return self.access(paddr, entry=self.config.walker_entry, is_walk=True)
+
+    def llc_would_hit(self, paddr: int) -> bool:
+        """Non-destructive LLC presence check (used by the Midgard
+        model, which translates only when the LLC misses)."""
+        return (
+            self.l1.contains(paddr)
+            or self.l2.contains(paddr)
+            or self.l3.contains(paddr)
+        )
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.reset_stats()
+        self.dram_accesses = 0

@@ -1,0 +1,179 @@
+"""TLB models (Table 1): split L1 TLBs per page size, unified-by-size
+L2 TLB, all set-associative with LRU and ASID tags.
+
+Hardware does not know a VA's page size before translation, so lookups
+probe the structures for every supported size (each size indexes with
+its own VPN granularity) — exactly what x86 L1/L2 TLBs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.types import PTE, PageSize
+
+
+class TLBArray:
+    """One set-associative TLB array for a single page size."""
+
+    def __init__(self, name: str, entries: int, ways: int, page_size: PageSize):
+        if entries < ways:
+            raise ValueError(f"{name}: need at least one set")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.page_size = page_size
+        # Table 1's 2048-entry 12-way geometry is not an exact multiple;
+        # round the set count up as hardware's sectoring effectively does.
+        self.num_sets = -(-entries // ways)
+        self._sets: Dict[int, Dict[Tuple[int, int], PTE]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, vpn: int, asid: int) -> Tuple[int, Tuple[int, int]]:
+        page_vpn = vpn // self.page_size.pages_4k
+        return page_vpn % self.num_sets, (asid, page_vpn)
+
+    def lookup(self, vpn: int, asid: int) -> Optional[PTE]:
+        set_idx, key = self._key(vpn, asid)
+        tlb_set = self._sets.get(set_idx)
+        if tlb_set is not None and key in tlb_set:
+            pte = tlb_set.pop(key)
+            tlb_set[key] = pte  # move to MRU
+            self.hits += 1
+            return pte
+        self.misses += 1
+        return None
+
+    def insert(self, pte: PTE, asid: int) -> None:
+        set_idx, key = self._key(pte.vpn, asid)
+        tlb_set = self._sets.setdefault(set_idx, {})
+        if key in tlb_set:
+            del tlb_set[key]
+        elif len(tlb_set) >= self.ways:
+            tlb_set.pop(next(iter(tlb_set)))
+        tlb_set[key] = pte
+
+    def invalidate(self, vpn: int, asid: int) -> None:
+        set_idx, key = self._key(vpn, asid)
+        tlb_set = self._sets.get(set_idx)
+        if tlb_set is not None:
+            tlb_set.pop(key, None)
+
+    def flush_asid(self, asid: int) -> None:
+        for tlb_set in self._sets.values():
+            for key in [k for k in tlb_set if k[0] == asid]:
+                del tlb_set[key]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class TLBConfig:
+    """Table 1 TLB geometry."""
+
+    l1_4k_entries: int = 64
+    l1_4k_ways: int = 4
+    l1_2m_entries: int = 32
+    l1_2m_ways: int = 4
+    l2_entries_per_size: int = 2048
+    l2_ways: int = 12
+    l2_latency: int = 7  # cycles to deliver a hit from the L2 TLB
+
+    @staticmethod
+    def scaled(factor: int) -> "TLBConfig":
+        """Entry counts divided by ``factor`` (latency unchanged).
+
+        Companion of :meth:`HierarchyConfig.scaled`: with footprints
+        scaled down, full-size TLBs would cover an unrealistically
+        large fraction of the address space (under THP they would
+        cover *all* of it, hiding every page walk the paper studies).
+        Scaling reach preserves the paper's miss-rate regime.
+        """
+        base = TLBConfig()
+        return TLBConfig(
+            l1_4k_entries=max(8, base.l1_4k_entries // factor),
+            l1_4k_ways=4,
+            l1_2m_entries=max(4, base.l1_2m_entries // factor),
+            l1_2m_ways=2,
+            l2_entries_per_size=max(32, base.l2_entries_per_size // factor),
+            l2_ways=base.l2_ways,
+            l2_latency=base.l2_latency,
+        )
+
+
+class TLBHierarchy:
+    """L1 (split by size) + L2 TLBs probed per supported page size."""
+
+    def __init__(self, config: Optional[TLBConfig] = None):
+        c = config or TLBConfig()
+        self.config = c
+        self.l1 = {
+            PageSize.SIZE_4K: TLBArray(
+                "L1-4K", c.l1_4k_entries, c.l1_4k_ways, PageSize.SIZE_4K
+            ),
+            PageSize.SIZE_2M: TLBArray(
+                "L1-2M", c.l1_2m_entries, c.l1_2m_ways, PageSize.SIZE_2M
+            ),
+        }
+        self.l2 = {
+            size: TLBArray(
+                f"L2-{size.name}", c.l2_entries_per_size, c.l2_ways, size
+            )
+            for size in (PageSize.SIZE_4K, PageSize.SIZE_2M)
+        }
+        # 1 GB pages share the 2 MB arrays in this model (x86 parts
+        # vary; Table 1 lists no separate 1 GB TLB).
+
+    def _arrays_for(self, size: PageSize):
+        if size is PageSize.SIZE_1G:
+            size = PageSize.SIZE_2M
+        return self.l1[size], self.l2[size]
+
+    def lookup(self, vpn: int, asid: int) -> Tuple[Optional[PTE], int]:
+        """Probe L1 then L2 for all sizes; returns (pte, latency)."""
+        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
+            pte = self.l1[size].lookup(vpn, asid)
+            if pte is not None and pte.covers(vpn):
+                return pte, 0
+        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
+            pte = self.l2[size].lookup(vpn, asid)
+            if pte is not None and pte.covers(vpn):
+                l1_arr, _ = self._arrays_for(pte.page_size)
+                l1_arr.insert(pte, asid)
+                return pte, self.config.l2_latency
+        return None, self.config.l2_latency
+
+    def insert(self, pte: PTE, asid: int) -> None:
+        l1_arr, l2_arr = self._arrays_for(pte.page_size)
+        l1_arr.insert(pte, asid)
+        l2_arr.insert(pte, asid)
+
+    def invalidate(self, vpn: int, asid: int) -> None:
+        for arr in (*self.l1.values(), *self.l2.values()):
+            arr.invalidate(vpn, asid)
+
+    def flush_asid(self, asid: int) -> None:
+        for arr in (*self.l1.values(), *self.l2.values()):
+            arr.flush_asid(asid)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Miss rate of the L2 TLB over translations that reached it.
+
+        The paper reports per-workload L2 TLB miss rates; a translation
+        "reaches" the L2 when every L1 array missed.  Both size arrays
+        are probed per translation, so pairs of probes are collapsed.
+        """
+        lookups = max(a.accesses for a in self.l2.values())
+        if lookups == 0:
+            return 0.0
+        hits = sum(a.hits for a in self.l2.values())
+        return 1.0 - hits / lookups

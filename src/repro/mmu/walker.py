@@ -1,0 +1,250 @@
+"""Hardware page-table walkers, one per translation scheme.
+
+A walker takes the *software* walk (the sequence of physical accesses
+the page-table data structure implies) and turns it into hardware
+behaviour: walk-cache hits skip accesses, parallel probes overlap,
+surviving accesses go through the cache hierarchy, and the result is a
+cycle count plus the memory traffic actually issued — the quantities
+Figures 10 and 11 are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.learned_index import LearnedIndex
+from repro.mmu.hierarchy import MemoryHierarchy
+from repro.mmu.walk_cache import CWC, LWC, RadixPWC
+from repro.pagetables.ecpt import ECPT
+from repro.pagetables.fpt import FlattenedPageTable
+from repro.pagetables.ideal import IdealPageTable
+from repro.pagetables.radix import RadixPageTable
+from repro.types import PTE, AccessKind
+
+
+@dataclass
+class WalkOutcome:
+    """One hardware page walk: result, latency, and traffic."""
+
+    pte: Optional[PTE]
+    cycles: int
+    memory_accesses: int
+
+
+class RadixWalker:
+    """Radix walker with a three-level page walk cache."""
+
+    def __init__(
+        self,
+        table: RadixPageTable,
+        hierarchy: MemoryHierarchy,
+        pwc: Optional[RadixPWC] = None,
+    ):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.pwc = pwc or RadixPWC()
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        result = self.table.walk(vpn)
+        lowest = self.pwc.lowest_cached_level(vpn, asid)
+        cycles = self.pwc.latency
+        issued = 0
+        for access in result.accesses:
+            if lowest is not None and access.level >= lowest:
+                continue  # served by the PWC
+            cycles += self.hierarchy.walk_access(access.paddr)
+            issued += 1
+        # Fill the PWC with the non-leaf entries this walk traversed.
+        if len(result.accesses) > 1:
+            deepest_nonleaf = result.accesses[-2].level
+            self.pwc.fill(vpn, asid, deepest_nonleaf)
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += issued
+        return WalkOutcome(result.pte, cycles, issued)
+
+
+class FPTWalker(RadixWalker):
+    """FPT uses the radix walker machinery over its folded tables."""
+
+    def __init__(
+        self,
+        table: FlattenedPageTable,
+        hierarchy: MemoryHierarchy,
+        pwc: Optional[RadixPWC] = None,
+    ):
+        # The PWC keys by radix-style level tags, which FPT emits.
+        super().__init__(table, hierarchy, pwc)  # type: ignore[arg-type]
+
+
+class ECPTWalker:
+    """Parallel cuckoo walker with a cuckoo walk cache."""
+
+    def __init__(
+        self,
+        table: ECPT,
+        hierarchy: MemoryHierarchy,
+        cwc: Optional[CWC] = None,
+    ):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.cwc = cwc or CWC()
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        result = self.table.walk(vpn)
+        cycles = self.cwc.latency
+        issued = 0
+        # CWT consults on CWC miss: the PUD entry always, the PMD entry
+        # only for mixed-size regions (level tags 6 and 5).  The two
+        # fetches are independent and overlap, so latency is their max.
+        cwt_latency = 0
+        for access in result.accesses:
+            if access.kind is not AccessKind.CWT:
+                continue
+            if access.level == 6:
+                hit = self.cwc.pud.lookup((asid, vpn >> 18))
+            else:
+                hit = self.cwc.pmd.lookup((asid, vpn >> 9))
+            if not hit:
+                cwt_latency = max(
+                    cwt_latency, self.hierarchy.walk_access(access.paddr)
+                )
+                issued += 1
+                if access.level == 6:
+                    self.cwc.pud.insert((asid, vpn >> 18))
+                else:
+                    self.cwc.pmd.insert((asid, vpn >> 9))
+        # All cuckoo probes are issued in parallel: latency is the
+        # slowest probe, traffic is every probe (the "two unnecessary
+        # fetches per translation").
+        probe_latency = 0
+        for access in result.accesses:
+            if access.kind is not AccessKind.PT_LEAF:
+                continue
+            probe_latency = max(
+                probe_latency, self.hierarchy.walk_access(access.paddr)
+            )
+            issued += 1
+        cycles += cwt_latency + probe_latency
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += issued
+        return WalkOutcome(result.pte, cycles, issued)
+
+
+class LVMWalker:
+    """LVM page-table walker with the LVM Walk Cache (section 4.6.2)."""
+
+    def __init__(
+        self,
+        index: LearnedIndex,
+        hierarchy: MemoryHierarchy,
+        lwc: Optional[LWC] = None,
+    ):
+        self.index = index
+        self.hierarchy = hierarchy
+        self.lwc = lwc or LWC()
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+        self._seen_flushes = index.stats.lwc_flushes
+
+    def _sync_flushes(self, asid: int) -> None:
+        """Apply OS-requested LWC flushes (after node retrains)."""
+        if self.index.stats.lwc_flushes != self._seen_flushes:
+            self.lwc.flush_asid(asid)
+            self._seen_flushes = self.index.stats.lwc_flushes
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        self._sync_flushes(asid)
+        trace = self.index.lookup(vpn)
+        cycles = 0
+        issued = 0
+        for level, offset, paddr in trace.node_accesses:
+            # Model evaluation + LWC lookup: 2 cycles (section 7.4).
+            cycles += self.lwc.latency
+            if not self.lwc.lookup(asid, level, offset):
+                cycles += self.hierarchy.walk_access(paddr)
+                issued += 1
+                self.lwc.fill_line(asid, level, offset)
+        for paddr in trace.pte_line_paddrs:
+            cycles += self.hierarchy.walk_access(paddr)
+            issued += 1
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += issued
+        return WalkOutcome(trace.pte, cycles, issued)
+
+
+class IdealWalker:
+    """Oracle walker: exactly one memory access per walk."""
+
+    def __init__(self, table: IdealPageTable, hierarchy: MemoryHierarchy):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        result = self.table.walk(vpn)
+        cycles = self.hierarchy.walk_access(result.accesses[0].paddr)
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += 1
+        return WalkOutcome(result.pte, cycles, 1)
+
+
+class ASAPWalker(RadixWalker):
+    """ASAP (section 7.5.1): radix plus translation prefetching.
+
+    When the OS managed to allocate the VMA's leaf page tables
+    contiguously, the walker can compute the PTE's (and PDE's) address
+    directly and prefetch them while the ordinary walk proceeds.  The
+    prefetches warm the caches — the walk's leaf accesses then hit —
+    but they are extra traffic on top of the standard walk, which is
+    precisely why the paper finds ASAP slower than ECPT and LVM.
+    """
+
+    def __init__(
+        self,
+        table: RadixPageTable,
+        hierarchy: MemoryHierarchy,
+        pwc: Optional[RadixPWC] = None,
+        prefetch_success_rate: float = 1.0,
+    ):
+        super().__init__(table, hierarchy, pwc)
+        self.prefetch_success_rate = prefetch_success_rate
+        self.prefetches = 0
+
+    def _region_prefetchable(self, vpn: int) -> bool:
+        """Deterministic per-1GB-region contiguity outcome."""
+        if self.prefetch_success_rate >= 1.0:
+            return True
+        if self.prefetch_success_rate <= 0.0:
+            return False
+        region = vpn >> 18
+        # Cheap deterministic hash spread over [0, 1).
+        spread = ((region * 2654435761) & 0xFFFF) / 65536.0
+        return spread < self.prefetch_success_rate
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        prefetched = 0
+        if self._region_prefetchable(vpn):
+            result = self.table.walk(vpn)
+            # Prefetch the two deepest entries' lines ahead of the walk.
+            for access in result.accesses[-2:]:
+                self.hierarchy.walk_access(access.paddr)
+                prefetched += 1
+            self.prefetches += prefetched
+        outcome = super().walk(vpn, asid)
+        outcome.memory_accesses += prefetched
+        self.total_accesses += prefetched
+        return outcome

@@ -1,0 +1,20 @@
+"""Baseline translation schemes the paper compares LVM against."""
+
+from repro.pagetables.base import PageTable, walk_serial_length, walk_traffic
+from repro.pagetables.ecpt import ECPT
+from repro.pagetables.fpt import FlattenedPageTable
+from repro.pagetables.hashed import HashedPageTable, blake2_slot
+from repro.pagetables.ideal import IdealPageTable
+from repro.pagetables.radix import RadixPageTable
+
+__all__ = [
+    "ECPT",
+    "FlattenedPageTable",
+    "HashedPageTable",
+    "IdealPageTable",
+    "PageTable",
+    "RadixPageTable",
+    "blake2_slot",
+    "walk_serial_length",
+    "walk_traffic",
+]

@@ -1,0 +1,334 @@
+"""Elastic Cuckoo Page Tables (ECPT) — the state-of-the-art hashed
+baseline the paper compares against (sections 2.2, 6.3, 7).
+
+ECPT keeps one d-ary (d = 3) cuckoo hash table per page size.  A walk
+probes the d candidate slots of every page size the region may use —
+in *parallel*, trading the sequential accesses of radix for extra
+memory traffic ("incurring two unnecessary fetches per translation").
+Cuckoo Walk Tables (CWTs) record, per VA region, which page sizes are
+present so the walker can skip entire tables; the hardware Cuckoo Walk
+Cache (CWC, in :mod:`repro.mmu.walk_cache`) caches CWT entries.
+
+Elasticity: a table whose load factor crosses the threshold (0.6, per
+the paper's hash-table baseline) doubles in size; entries are rehashed
+into the new table.  The resize cost shows up as management work, as
+in the original ECPT design's gradual-rehash window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.allocator import BumpAllocator, PhysicalAllocator
+from repro.types import (
+    PTE,
+    AccessKind,
+    PageSize,
+    TranslationError,
+    WalkAccess,
+    WalkResult,
+)
+
+ENTRY_BYTES = 8
+DEFAULT_WAYS = 3
+DEFAULT_INITIAL_SIZE = 16384  # entries per way group (Table 1)
+MAX_KICKS = 32
+
+# CWT granularities, mirroring ECPT's PMD- and PUD-level walk tables:
+# one PMD-CWT entry per 2 MB region, one PUD-CWT entry per 1 GB region.
+PMD_REGION_PAGES = 512
+PUD_REGION_PAGES = 512 * 512
+CWT_ENTRY_BYTES = 8
+
+
+_WAY_SEEDS = (0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 0xD6E8FEB86659FD93)
+
+
+def _way_hash(key: int, way: int, capacity: int) -> int:
+    """Fast splitmix64-style integer hash, one independent function per
+    way.  (The cryptographic Blake2 hash appears only in the section
+    7.3 hash-table *baseline*; cuckoo ways need speed and independence,
+    matching the original ECPT implementation's multiplicative hashes.)
+    """
+    x = (key ^ _WAY_SEEDS[way % len(_WAY_SEEDS)]) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x % capacity
+
+
+@dataclass
+class ECPTStats:
+    lookups: int = 0
+    probes_issued: int = 0
+    resizes: int = 0
+    kicks: int = 0
+
+    @property
+    def avg_probes(self) -> float:
+        return self.probes_issued / self.lookups if self.lookups else 0.0
+
+
+class _CuckooTable:
+    """One d-ary cuckoo hash table for a single page size."""
+
+    def __init__(
+        self,
+        allocator: PhysicalAllocator,
+        page_size: PageSize,
+        ways: int,
+        initial_size: int,
+        max_load: float,
+        stats: ECPTStats,
+    ):
+        self.allocator = allocator
+        self.page_size = page_size
+        self.ways = ways
+        self.max_load = max_load
+        self.stats = stats
+        self._capacity = initial_size  # slots per way
+        self._slots: List[List[Optional[PTE]]] = [
+            [None] * self._capacity for _ in range(ways)
+        ]
+        self._occupied = 0
+        self._bases = [
+            self.allocator.alloc(self._capacity * ENTRY_BYTES) for _ in range(ways)
+        ]
+
+    # ``key`` below is the page-size-specific VPN: the 4 KB VPN shifted
+    # down so all sub-pages of one mapping share a key.
+    def key_of(self, vpn: int) -> int:
+        return vpn // self.page_size.pages_4k
+
+    @property
+    def load_factor(self) -> float:
+        return self._occupied / (self._capacity * self.ways)
+
+    @property
+    def table_bytes(self) -> int:
+        return self._capacity * self.ways * ENTRY_BYTES
+
+    def slot_paddr(self, way: int, slot: int) -> int:
+        return self._bases[way] + slot * ENTRY_BYTES
+
+    def probe_paddrs(self, vpn: int) -> List[Tuple[int, int, int]]:
+        """(way, slot, paddr) for all d candidate locations of a VPN."""
+        key = self.key_of(vpn)
+        probes = []
+        for w in range(self.ways):
+            slot = _way_hash(key, w, self._capacity)
+            probes.append((w, slot, self.slot_paddr(w, slot)))
+        return probes
+
+    def lookup(self, vpn: int) -> Optional[PTE]:
+        key = self.key_of(vpn)
+        for way in range(self.ways):
+            entry = self._slots[way][_way_hash(key, way, self._capacity)]
+            if entry is not None and self.key_of(entry.vpn) == key:
+                return entry
+        return None
+
+    def insert(self, pte: PTE) -> None:
+        if (self._occupied + 1) > self.max_load * self._capacity * self.ways:
+            self._resize()
+        item = pte
+        way = 0
+        for _ in range(MAX_KICKS):
+            key = self.key_of(item.vpn)
+            slot = _way_hash(key, way, self._capacity)
+            evicted = self._slots[way][slot]
+            self._slots[way][slot] = item
+            if evicted is None:
+                self._occupied += 1
+                return
+            self.stats.kicks += 1
+            item = evicted
+            # Re-insert the evicted item through its next way.
+            way = (way + 1) % self.ways
+        # Kick chain too long: grow and retry (the "elastic" part).
+        self._resize()
+        self.insert(item)
+
+    def remove(self, vpn: int) -> Optional[PTE]:
+        key = self.key_of(vpn)
+        for way in range(self.ways):
+            slot = _way_hash(key, way, self._capacity)
+            entry = self._slots[way][slot]
+            if entry is not None and self.key_of(entry.vpn) == key:
+                self._slots[way][slot] = None
+                self._occupied -= 1
+                return entry
+        return None
+
+    def _resize(self) -> None:
+        self.stats.resizes += 1
+        live = [e for way in self._slots for e in way if e is not None]
+        for base in self._bases:
+            self.allocator.free(base, self._capacity * ENTRY_BYTES)
+        self._capacity *= 2
+        self._slots = [[None] * self._capacity for _ in range(self.ways)]
+        self._bases = [
+            self.allocator.alloc(self._capacity * ENTRY_BYTES)
+            for _ in range(self.ways)
+        ]
+        self._occupied = 0
+        for entry in live:
+            self.insert(entry)
+
+    def entries(self) -> List[PTE]:
+        return [e for way in self._slots for e in way if e is not None]
+
+
+class ECPT:
+    """Elastic cuckoo page tables with cuckoo walk tables."""
+
+    def __init__(
+        self,
+        allocator: Optional[PhysicalAllocator] = None,
+        ways: int = DEFAULT_WAYS,
+        initial_size: int = DEFAULT_INITIAL_SIZE,
+        max_load: float = 0.6,
+    ):
+        self.allocator = allocator or BumpAllocator()
+        self.stats = ECPTStats()
+        self.tables: Dict[PageSize, _CuckooTable] = {
+            size: _CuckooTable(
+                self.allocator, size, ways, initial_size, max_load, self.stats
+            )
+            for size in PageSize
+        }
+        # CWT: which page sizes may exist per region (reference counts
+        # so unmap can clear bits).
+        self._pmd_cwt: Dict[int, Dict[PageSize, int]] = {}
+        self._pud_cwt: Dict[int, Dict[PageSize, int]] = {}
+        self._pmd_cwt_base = self.allocator.alloc(1 << 20)
+        self._pud_cwt_base = self.allocator.alloc(1 << 20)
+
+    # -- CWT maintenance ------------------------------------------------
+    def _cwt_add(self, pte: PTE) -> None:
+        pmd = pte.vpn // PMD_REGION_PAGES
+        pud = pte.vpn // PUD_REGION_PAGES
+        self._pmd_cwt.setdefault(pmd, {}).setdefault(pte.page_size, 0)
+        self._pmd_cwt[pmd][pte.page_size] += 1
+        self._pud_cwt.setdefault(pud, {}).setdefault(pte.page_size, 0)
+        self._pud_cwt[pud][pte.page_size] += 1
+
+    def _cwt_drop(self, pte: PTE) -> None:
+        pmd = pte.vpn // PMD_REGION_PAGES
+        pud = pte.vpn // PUD_REGION_PAGES
+        for table, region in ((self._pmd_cwt, pmd), (self._pud_cwt, pud)):
+            counts = table.get(region)
+            if counts and pte.page_size in counts:
+                counts[pte.page_size] -= 1
+                if counts[pte.page_size] <= 0:
+                    del counts[pte.page_size]
+                if not counts:
+                    del table[region]
+
+    def sizes_in_region(self, vpn: int) -> List[PageSize]:
+        """Page sizes the CWTs say may map this VPN (probe trimming).
+
+        The PUD-level CWT (1 GB granularity) is consulted first: a
+        region holding a single page size is fully resolved there.
+        Only mixed regions need the finer PMD-level CWT.
+        """
+        pud_counts = self._pud_cwt.get(vpn // PUD_REGION_PAGES)
+        if not pud_counts:
+            return []
+        if len(pud_counts) == 1:
+            return list(pud_counts)
+        sizes: List[PageSize] = []
+        pmd_counts = self._pmd_cwt.get(vpn // PMD_REGION_PAGES)
+        if pmd_counts:
+            sizes.extend(
+                s for s in (PageSize.SIZE_4K, PageSize.SIZE_2M) if s in pmd_counts
+            )
+        if PageSize.SIZE_1G in pud_counts:
+            sizes.append(PageSize.SIZE_1G)
+        return sizes
+
+    def needs_pmd_cwt(self, vpn: int) -> bool:
+        """Whether the walk must also consult the PMD-level CWT."""
+        pud_counts = self._pud_cwt.get(vpn // PUD_REGION_PAGES)
+        return bool(pud_counts) and len(pud_counts) > 1
+
+    def pud_cwt_paddr(self, vpn: int) -> int:
+        return (
+            self._pud_cwt_base
+            + (vpn // PUD_REGION_PAGES) % (1 << 17) * CWT_ENTRY_BYTES
+        )
+
+    def pmd_cwt_paddr(self, vpn: int) -> int:
+        return (
+            self._pmd_cwt_base
+            + (vpn // PMD_REGION_PAGES) % (1 << 17) * CWT_ENTRY_BYTES
+        )
+
+    def cwt_access_paddrs(self, vpn: int) -> List[int]:
+        """Physical addresses of the CWT entries a walk consults: the
+        PUD entry always, the PMD entry only for mixed regions."""
+        paddrs = [self.pud_cwt_paddr(vpn)]
+        if self.needs_pmd_cwt(vpn):
+            paddrs.append(self.pmd_cwt_paddr(vpn))
+        return paddrs
+
+    # -- PageTable interface ---------------------------------------------
+    def map(self, pte: PTE) -> None:
+        table = self.tables[pte.page_size]
+        if table.lookup(pte.vpn) is not None:
+            raise TranslationError(f"VPN {pte.vpn:#x} already mapped")
+        table.insert(pte)
+        self._cwt_add(pte)
+
+    def unmap(self, vpn: int) -> PTE:
+        for table in self.tables.values():
+            entry = table.lookup(vpn)
+            if entry is not None and entry.vpn == vpn:
+                table.remove(vpn)
+                self._cwt_drop(entry)
+                return entry
+        raise TranslationError(f"VPN {vpn:#x} is not mapped")
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Parallel cuckoo walk: CWT consult, then d probes per
+        candidate page size, all in one parallel group."""
+        self.stats.lookups += 1
+        accesses: List[WalkAccess] = []
+        # Level 6 = PUD CWT, level 5 = PMD CWT (for the CWC's benefit).
+        accesses.append(WalkAccess(self.pud_cwt_paddr(vpn), AccessKind.CWT, level=6))
+        if self.needs_pmd_cwt(vpn):
+            accesses.append(
+                WalkAccess(self.pmd_cwt_paddr(vpn), AccessKind.CWT, level=5)
+            )
+        sizes = self.sizes_in_region(vpn)
+        found: Optional[PTE] = None
+        group = 0
+        for size in sizes:
+            table = self.tables[size]
+            for way, slot, paddr in table.probe_paddrs(vpn):
+                accesses.append(
+                    WalkAccess(paddr, AccessKind.PT_LEAF, level=1, parallel_group=group)
+                )
+                entry = table._slots[way][slot]
+                if (
+                    entry is not None
+                    and table.key_of(entry.vpn) == table.key_of(vpn)
+                    and entry.covers(vpn)
+                ):
+                    found = entry
+        self.stats.probes_issued += sum(
+            1 for a in accesses if a.kind is AccessKind.PT_LEAF
+        )
+        return WalkResult(found, accesses)
+
+    def find(self, vpn: int) -> Optional[PTE]:
+        for table in self.tables.values():
+            entry = table.lookup(vpn)
+            if entry is not None and entry.covers(vpn):
+                return entry
+        return None
+
+    @property
+    def table_bytes(self) -> int:
+        return sum(t.table_bytes for t in self.tables.values())

@@ -1,0 +1,30 @@
+"""Trace-driven simulation: configs, simulator, runner, results."""
+
+from repro.sim.config import (
+    EXTENDED_SCHEMES,
+    SCHEMES,
+    CoreModel,
+    LVMCostModel,
+    SimConfig,
+    table1_rows,
+)
+from repro.sim.results import ResultSet, SimResult, geomean, mean
+from repro.sim.runner import run_suite, summarize_speedups
+from repro.sim.simulator import Simulator, simulate
+
+__all__ = [
+    "CoreModel",
+    "EXTENDED_SCHEMES",
+    "LVMCostModel",
+    "ResultSet",
+    "SCHEMES",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "geomean",
+    "mean",
+    "run_suite",
+    "simulate",
+    "summarize_speedups",
+    "table1_rows",
+]

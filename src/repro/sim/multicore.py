@@ -1,0 +1,178 @@
+"""Multi-tenant and multi-threaded simulation (paper section 7.1).
+
+*Multi-tenancy*: stacked workloads on an 8-core setup, one workload per
+core, private L1/L2 and TLBs, shared L3.  The paper finds LVM's
+speedups unchanged (within 0.5%) — per-process learned indexes are
+independent and the LWC is ASID-tagged, so tenants do not interfere in
+the MMU.
+
+*Multi-threading*: one process, its trace interleaved across N threads,
+each with its own core/MMU but one shared page table and ASID.  The
+paper finds results within 1% of single-threaded because PTE updates
+use per-table locking and retrains are exceedingly rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mmu.cache import Cache
+from repro.mmu.hierarchy import MemoryHierarchy
+from repro.mmu.mmu import MMU
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import BuiltWorkload
+
+
+@dataclass
+class LockStats:
+    """Locking behaviour of LVM's multi-threaded updates (section 5.2)."""
+
+    pte_lock_acquisitions: int = 0
+    pte_lock_conflicts: int = 0
+    retrain_lock_acquisitions: int = 0
+
+    @property
+    def conflict_rate(self) -> float:
+        if not self.pte_lock_acquisitions:
+            return 0.0
+        return self.pte_lock_conflicts / self.pte_lock_acquisitions
+
+
+class MultiTenantSimulator:
+    """One workload per core, private MMUs, shared last-level cache."""
+
+    def __init__(
+        self,
+        scheme: str,
+        workloads: Sequence[BuiltWorkload],
+        config: Optional[SimConfig] = None,
+    ):
+        self.config = config or SimConfig()
+        self.scheme = scheme
+        self.sims: List[Simulator] = []
+        shared_l3: Optional[Cache] = None
+        for asid, workload in enumerate(workloads):
+            sim = Simulator(scheme, workload, self.config)
+            if shared_l3 is None:
+                shared_l3 = sim.hierarchy.l3
+            else:
+                # All cores contend for one L3 slice set, as stacked
+                # tenants do.
+                sim.hierarchy.l3 = shared_l3
+            self.sims.append(sim)
+
+    def run(self, num_refs: Optional[int] = None) -> List[SimResult]:
+        """Interleave the tenants' traces round-robin through the
+        shared L3 and return per-tenant results."""
+        refs = num_refs or self.config.num_refs
+        traces = [
+            sim.workload.trace(refs, self.config.trace_seed + i)
+            for i, sim in enumerate(self.sims)
+        ]
+        cursors = [0] * len(self.sims)
+        stalls = [0] * len(self.sims)
+        mmu_cycles = [0] * len(self.sims)
+        chunk = 256
+        active = True
+        while active:
+            active = False
+            for i, sim in enumerate(self.sims):
+                trace = traces[i]
+                if cursors[i] >= len(trace):
+                    continue
+                active = True
+                stop = min(cursors[i] + chunk, len(trace))
+                for va in trace[cursors[i]:stop]:
+                    va = int(va)
+                    pte, tcycles = sim.mmu.translate(va, asid=i)
+                    if pte is None:
+                        sim.process.handle_fault(va)
+                        pte, more = sim.mmu.translate(va, asid=i)
+                        tcycles += more
+                    mmu_cycles[i] += tcycles
+                    stalls[i] += sim.hierarchy.access(pte.translate(va))
+                cursors[i] = stop
+        return [
+            sim._result(len(traces[i]), stalls[i], mmu_cycles[i])
+            for i, sim in enumerate(self.sims)
+        ]
+
+
+class MultiThreadedSimulator:
+    """One process, N threads: shared page table, private cores."""
+
+    def __init__(
+        self,
+        scheme: str,
+        workload: BuiltWorkload,
+        num_threads: int = 8,
+        config: Optional[SimConfig] = None,
+    ):
+        self.config = config or SimConfig()
+        self.num_threads = num_threads
+        # One simulator owns the page table and its walker state...
+        self.primary = Simulator(scheme, workload, self.config)
+        # ...while each thread gets its own MMU front-end (per-core
+        # TLBs) over a per-core walker sharing the page table and L3.
+        self.mmus: List[MMU] = []
+        self.hierarchies: List[MemoryHierarchy] = []
+        shared_l3 = self.primary.hierarchy.l3
+        for _ in range(num_threads):
+            hier = MemoryHierarchy(self.config.hierarchy)
+            hier.l3 = shared_l3
+            sim_clone = Simulator.__new__(Simulator)
+            sim_clone.scheme = scheme
+            sim_clone.config = self.config
+            sim_clone.hierarchy = hier
+            sim_clone.manager = self.primary.manager
+            sim_clone.page_table = self.primary.page_table
+            walker = sim_clone._make_walker()
+            self.mmus.append(MMU(walker, self.config.tlb))
+            self.hierarchies.append(hier)
+        self.locks = LockStats()
+
+    def run(self, num_refs: Optional[int] = None) -> Dict[str, float]:
+        refs = num_refs or self.config.num_refs
+        trace = self.primary.workload.trace(refs, self.config.trace_seed)
+        shards = np.array_split(trace, self.num_threads)
+        per_thread_cycles = []
+        core = self.config.core
+        ipr = self.primary.workload.info.instructions_per_ref
+        last_table = {}
+        for tid, shard in enumerate(shards):
+            mmu = self.mmus[tid]
+            hier = self.hierarchies[tid]
+            stalls = 0
+            mmu_cycles = 0
+            for va in shard:
+                va = int(va)
+                pte, tcycles = mmu.translate(va, asid=0)
+                if pte is None:
+                    # Concurrent fault: the table lock serializes the
+                    # mapping (section 5.2, "Multi-threading").
+                    self.locks.pte_lock_acquisitions += 1
+                    owner = last_table.get(va >> 21)
+                    if owner is not None and owner != tid:
+                        self.locks.pte_lock_conflicts += 1
+                    last_table[va >> 21] = tid
+                    self.primary.process.handle_fault(va)
+                    pte, more = mmu.translate(va, asid=0)
+                    tcycles += more
+                mmu_cycles += tcycles
+                stalls += hier.access(pte.translate(va))
+            cycles = (
+                len(shard) * ipr * core.base_cpi
+                + stalls * core.data_stall_exposure
+                + mmu_cycles * core.walk_stall_exposure
+            )
+            per_thread_cycles.append(cycles)
+        return {
+            "max_thread_cycles": max(per_thread_cycles),
+            "total_refs": refs,
+            "lock_conflict_rate": self.locks.conflict_rate,
+        }

@@ -1,0 +1,67 @@
+"""Experiment runner: scheme × workload × page-size sweeps.
+
+``run_suite`` produces the single :class:`ResultSet` from which every
+figure of section 7.1/7.2 is derived, exactly as the paper derives
+Figures 9-12 from one set of simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.config import SCHEMES, SimConfig
+from repro.sim.results import ResultSet
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import SUITE, BuiltWorkload, build_workload
+
+
+def run_suite(
+    workload_names: Optional[Iterable[str]] = None,
+    schemes: Iterable[str] = SCHEMES,
+    page_modes: Iterable[bool] = (False, True),
+    config: Optional[SimConfig] = None,
+    verbose: bool = False,
+) -> ResultSet:
+    """Run every (workload, scheme, thp) combination.
+
+    ``page_modes`` holds THP flags: False = 4 KB pages only, True =
+    transparent huge pages (section 6.3's two configurations).
+    """
+    base = config or SimConfig()
+    names = list(workload_names or SUITE)
+    results = ResultSet()
+    built: Dict[str, BuiltWorkload] = {
+        name: build_workload(
+            name, scale=base.footprint_scale, seed=base.workload_seed
+        )
+        for name in names
+    }
+    for thp in page_modes:
+        for name in names:
+            for scheme in schemes:
+                cfg = base.clone(thp=thp)
+                sim = Simulator(scheme, built[name], cfg)
+                result = sim.run()
+                results.add(result)
+                if verbose:
+                    print(
+                        f"  {name:6s} {scheme:7s} thp={int(thp)} "
+                        f"cycles={result.cycles/1e6:8.2f}M "
+                        f"mmu={result.mmu_cycles/1e6:6.2f}M "
+                        f"traffic={result.walk_traffic:8d}"
+                    )
+    return results
+
+
+def summarize_speedups(results: ResultSet, thp: bool) -> List[tuple]:
+    """(workload, scheme -> speedup) rows for Figure 9."""
+    rows = []
+    for workload in results.workloads():
+        row = {"workload": workload}
+        for scheme in ("radix", "ecpt", "lvm", "ideal"):
+            try:
+                row[scheme] = results.speedup(workload, scheme, thp)
+            except KeyError:
+                continue
+        rows.append(row)
+    return rows

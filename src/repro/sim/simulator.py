@@ -1,0 +1,264 @@
+"""Trace-driven full-system-style simulation (section 6.1 analogue).
+
+The paper uses SST + QEMU + DRAMSim3; here a trace of data references
+flows through the TLB hierarchy, the scheme-specific page walker (with
+its walk cache), and the L1/L2/L3/DRAM chain.  Translation cycles, walk
+traffic, cache misses and execution cycles fall out of the same runs,
+exactly as Figures 9-12 are produced from one set of simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import LVMConfig
+from repro.kernel.manager import LVMManager
+from repro.kernel.process import Process
+from repro.mem.allocator import BumpAllocator
+from repro.mem.buddy import BuddyAllocator
+from repro.mmu.hierarchy import MemoryHierarchy
+from repro.mmu.mmu import MMU
+from repro.mmu.walker import (
+    ASAPWalker,
+    ECPTWalker,
+    FPTWalker,
+    IdealWalker,
+    LVMWalker,
+    RadixWalker,
+)
+from repro.pagetables.ecpt import ECPT
+from repro.pagetables.fpt import FlattenedPageTable
+from repro.pagetables.ideal import IdealPageTable
+from repro.pagetables.radix import RadixPageTable
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.types import TranslationError
+from repro.workloads.registry import BuiltWorkload
+
+
+class Simulator:
+    """One (workload, scheme, page-size) simulation."""
+
+    def __init__(
+        self,
+        scheme: str,
+        workload: BuiltWorkload,
+        config: Optional[SimConfig] = None,
+        lvm_config: Optional[LVMConfig] = None,
+        allocator=None,
+    ):
+        self.scheme = scheme
+        self.workload = workload
+        self.config = config or SimConfig()
+        self.lvm_config = lvm_config
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        # ``allocator`` lets the fragmentation studies (sections 7.3,
+        # 7.5.3) back the page tables with a pre-fragmented buddy.
+        self.allocator = allocator if allocator is not None else self._make_allocator()
+        self.manager: Optional[LVMManager] = None
+        self.page_table = self._make_page_table()
+        self.process = Process(
+            self.page_table,
+            allocator=self.allocator,
+            thp=self.config.thp,
+            thp_coverage=self.config.thp_coverage,
+        )
+        self._populate()
+        self.walker = self._make_walker()
+        self.mmu = MMU(self.walker, self.config.tlb)
+
+    # -- setup -----------------------------------------------------------
+    def _make_allocator(self):
+        if self.config.phys_mem_bytes is None:
+            return BumpAllocator()
+        return BuddyAllocator(self.config.phys_mem_bytes)
+
+    def _make_page_table(self):
+        scheme = self.scheme
+        if scheme in ("radix", "asap", "midgard"):
+            return RadixPageTable(self.allocator)
+        if scheme == "ecpt":
+            # Initial table size scales with the footprint, as Table
+            # 1's 16384 entries correspond to full-size workloads.
+            initial = max(256, 16384 // self.config.footprint_scale)
+            return ECPT(self.allocator, initial_size=initial)
+        if scheme == "ideal":
+            return IdealPageTable(self.allocator)
+        if scheme == "fpt":
+            return FlattenedPageTable(self.allocator)
+        if scheme == "lvm":
+            self.manager = LVMManager(self.allocator, self.lvm_config)
+            return self.manager
+        raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    def _populate(self) -> None:
+        if self.manager is not None:
+            self.manager.begin_batch()
+        for vma in self.workload.vmas:
+            self.process.mmap(vma, populate=True)
+        if self.manager is not None:
+            self.manager.end_batch()
+
+    def _make_walker(self):
+        scheme = self.scheme
+        if scheme in ("radix", "midgard"):
+            return RadixWalker(self.page_table, self.hierarchy)
+        if scheme == "asap":
+            return ASAPWalker(
+                self.page_table,
+                self.hierarchy,
+                prefetch_success_rate=self.config.asap_prefetch_success,
+            )
+        if scheme == "ecpt":
+            return ECPTWalker(self.page_table, self.hierarchy)
+        if scheme == "ideal":
+            return IdealWalker(self.page_table, self.hierarchy)
+        if scheme == "fpt":
+            return FPTWalker(self.page_table, self.hierarchy)
+        if scheme == "lvm":
+            return LVMWalker(self.manager.index, self.hierarchy)
+        raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    # -- the run -----------------------------------------------------------
+    def run(self, num_refs: Optional[int] = None) -> SimResult:
+        refs = num_refs or self.config.num_refs
+        trace = self.workload.trace(refs, self.config.trace_seed)
+        refs = len(trace)
+        if self.scheme == "midgard":
+            data_stall, mmu_cycles = self._run_midgard(trace)
+        else:
+            data_stall, mmu_cycles = self._run_standard(trace)
+        return self._result(refs, data_stall, mmu_cycles)
+
+    def _run_standard(self, trace) -> "tuple[int, int]":
+        translate = self.mmu.translate
+        access = self.hierarchy.access
+        fault = self.process.handle_fault
+        data_stall = 0
+        mmu_cycles = 0
+        for va in trace:
+            va = int(va)
+            pte, tcycles = translate(va)
+            if pte is None:
+                # Demand fault: the OS maps the page, the access retries.
+                fault(va)
+                pte, more = translate(va)
+                tcycles += more
+                if pte is None:
+                    raise TranslationError(f"unmappable VA {va:#x}")
+            mmu_cycles += tcycles
+            data_stall += access(pte.translate(va))
+        return data_stall, mmu_cycles
+
+    def _run_midgard(self, trace) -> "tuple[int, int]":
+        """Midgard (section 7.5.2): the cache hierarchy is indexed by
+        intermediate (virtual) addresses, so hits need no translation;
+        only LLC misses walk the (radix) page table."""
+        access_info = self.hierarchy.access_info
+        data_stall = 0
+        mmu_cycles = 0
+        for va in trace:
+            va = int(va)
+            latency, level = access_info(va, entry="l1")
+            data_stall += latency
+            if level == "DRAM":
+                outcome = self.walker.walk(va >> 12)
+                mmu_cycles += outcome.cycles
+                self.mmu.stats.walks += 1
+                self.mmu.stats.walk_cycles += outcome.cycles
+                self.mmu.stats.walk_traffic += outcome.memory_accesses
+        return data_stall, mmu_cycles
+
+    # -- accounting ----------------------------------------------------
+    def _lvm_mgmt_cycles(self) -> "tuple[float, dict]":
+        if self.manager is None:
+            return 0.0, {}
+        stats = self.manager.index.stats
+        costs = self.config.lvm_costs
+        keys = self.manager.index.num_mappings
+        detail = {
+            "inserts": costs.insert_cycles * stats.inserts,
+            "rescales": costs.rescale_cycles * stats.rescales,
+            "local_retrains": costs.local_retrain_cycles * stats.local_retrains,
+            "rebuilds": costs.rebuild_cycles_per_key * keys * stats.full_rebuilds,
+        }
+        charged = sum(detail.values())
+        # The initial build happens during process start-up, before the
+        # region of interest (the paper's 1B-instruction window starts
+        # after initialization); report it but do not charge it.
+        detail["initial_build_uncharged"] = costs.build_cycles_per_key * keys
+        return charged, detail
+
+    def _result(self, refs: int, data_stall: int, mmu_cycles: int) -> SimResult:
+        core = self.config.core
+        instructions = int(refs * self.workload.info.instructions_per_ref)
+        mgmt_cycles, mgmt_detail = self._lvm_mgmt_cycles()
+        cycles = (
+            instructions * core.base_cpi
+            + data_stall * core.data_stall_exposure
+            + mmu_cycles * core.walk_stall_exposure
+            + mgmt_cycles
+        )
+        stats = self.mmu.stats
+        result = SimResult(
+            workload=self.workload.info.name,
+            scheme=self.scheme,
+            thp=self.config.thp,
+            refs=refs,
+            instructions=instructions,
+            cycles=cycles,
+            mmu_cycles=stats.mmu_cycles,
+            walk_cycles=stats.walk_cycles,
+            walks=stats.walks,
+            walk_traffic=stats.walk_traffic,
+            l1_tlb_hits=stats.l1_tlb_hits,
+            l2_tlb_hits=stats.l2_tlb_hits,
+            l2_tlb_miss_rate=stats.l2_tlb_miss_rate,
+            l1_mpki=self.hierarchy.l1.mpki(instructions),
+            l2_mpki=self.hierarchy.l2.mpki(instructions),
+            l3_mpki=self.hierarchy.l3.mpki(instructions),
+            dram_accesses=self.hierarchy.dram_accesses,
+            table_bytes=self.page_table.table_bytes,
+            mgmt_cycles=mgmt_cycles,
+            mgmt_detail=mgmt_detail,
+        )
+        self._fill_walk_cache_stats(result)
+        self._fill_lvm_stats(result)
+        return result
+
+    def _fill_walk_cache_stats(self, result: SimResult) -> None:
+        walker = self.walker
+        if isinstance(walker, LVMWalker):
+            result.walk_cache_hit_rate = walker.lwc.hit_rate
+            result.walk_cache_detail = {"lwc": walker.lwc.hit_rate}
+        elif isinstance(walker, ECPTWalker):
+            result.walk_cache_hit_rate = walker.cwc.hit_rate
+            result.walk_cache_detail = {
+                "pmd": walker.cwc.pmd.hit_rate,
+                "pud": walker.cwc.pud.hit_rate,
+            }
+        elif isinstance(walker, RadixWalker):
+            rates = walker.pwc.hit_rate_by_level
+            result.walk_cache_detail = {f"L{k}": v for k, v in rates.items()}
+            lookups = sum(l.accesses for l in walker.pwc.levels.values())
+            hits = sum(l.hits for l in walker.pwc.levels.values())
+            result.walk_cache_hit_rate = hits / lookups if lookups else 0.0
+
+    def _fill_lvm_stats(self, result: SimResult) -> None:
+        if self.manager is None:
+            return
+        index = self.manager.index
+        result.index_size_bytes = index.index_size_bytes
+        result.index_depth = index.depth
+        result.collision_rate = index.stats.collision_rate
+        result.avg_extra_accesses = index.stats.avg_extra_accesses_per_collision
+
+
+def simulate(
+    scheme: str,
+    workload: BuiltWorkload,
+    config: Optional[SimConfig] = None,
+    lvm_config: Optional[LVMConfig] = None,
+) -> SimResult:
+    """Convenience one-shot: build the simulator and run it."""
+    return Simulator(scheme, workload, config, lvm_config).run()

@@ -1,0 +1,154 @@
+"""Shared virtual-memory types used across the whole library.
+
+Addresses are plain Python integers interpreted as 64-bit values.  The
+canonical translation granule is the 4 KB *base page*: a virtual page
+number (VPN) is ``va >> 12`` regardless of the size of the mapping that
+covers it.  Larger pages (2 MB, 1 GB) are identified by the VPN of their
+first 4 KB sub-page, exactly as LVM trains its index (paper section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+BASE_PAGE_SHIFT = 12
+BASE_PAGE_SIZE = 1 << BASE_PAGE_SHIFT
+CACHE_LINE_SIZE = 64
+PTE_SIZE = 8
+
+
+class PageSize(enum.IntEnum):
+    """Page sizes supported by the translation schemes.
+
+    The integer value is the page size in bytes; ``encode()`` gives the
+    2-bit size field stored in LVM translation entries (section 4.4).
+    """
+
+    SIZE_4K = 1 << 12
+    SIZE_2M = 1 << 21
+    SIZE_1G = 1 << 30
+
+    @property
+    def shift(self) -> int:
+        return self.bit_length() - 1
+
+    @property
+    def pages_4k(self) -> int:
+        """Number of 4 KB base pages spanned by one page of this size."""
+        return self.value >> BASE_PAGE_SHIFT
+
+    def encode(self) -> int:
+        """The 2-bit size encoding used inside translation entries."""
+        return {PageSize.SIZE_4K: 0, PageSize.SIZE_2M: 1, PageSize.SIZE_1G: 2}[self]
+
+    @staticmethod
+    def decode(bits: int) -> "PageSize":
+        return (PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G)[bits]
+
+
+def vpn_of(va: int) -> int:
+    """Base-page (4 KB) virtual page number of a virtual address."""
+    return va >> BASE_PAGE_SHIFT
+
+
+def va_of(vpn: int) -> int:
+    """First virtual address covered by a base-page VPN."""
+    return vpn << BASE_PAGE_SHIFT
+
+
+def align_down(value: int, alignment: int) -> int:
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    return align_down(value + alignment - 1, alignment)
+
+
+class Permission(enum.IntFlag):
+    """POSIX-style mapping permissions carried by PTEs and VMAs."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+    RW = READ | WRITE
+    RX = READ | EXEC
+    RWX = READ | WRITE | EXEC
+
+
+@dataclass
+class PTE:
+    """A page-table entry: one virtual-to-physical translation.
+
+    ``vpn`` is always the 4 KB VPN of the *first* sub-page of the
+    mapping; ``page_size`` records the actual translation size.
+    """
+
+    vpn: int
+    ppn: int
+    page_size: PageSize = PageSize.SIZE_4K
+    perms: Permission = Permission.RW
+    accessed: bool = False
+    dirty: bool = False
+    present: bool = True
+
+    def covers(self, vpn: int) -> bool:
+        """Whether this entry translates the given 4 KB VPN."""
+        return self.vpn <= vpn < self.vpn + self.page_size.pages_4k
+
+    def translate(self, va: int) -> int:
+        """Physical address for a virtual address inside this mapping."""
+        size = self.page_size.value
+        base_va = self.vpn << BASE_PAGE_SHIFT
+        offset = va - align_down(base_va, size)
+        return self.ppn * BASE_PAGE_SIZE + offset
+
+
+class AccessKind(enum.Enum):
+    """What a memory access issued during a page walk is fetching."""
+
+    PT_NODE = "pt_node"  # internal page-table node / learned-index model
+    PT_LEAF = "pt_leaf"  # leaf page-table entry (the PTE itself)
+    CWT = "cwt"  # cuckoo walk table access (ECPT)
+    PREFETCH = "prefetch"  # prefetcher-induced access (ASAP)
+    DATA = "data"  # regular program data
+
+
+@dataclass(frozen=True)
+class WalkAccess:
+    """One physical memory access performed by a hardware page walker.
+
+    ``level`` tags the page-table level (radix) or learned-index depth
+    (LVM) so walk caches can decide which accesses they short-circuit.
+    Accesses in the same ``parallel_group`` are issued concurrently
+    (ECPT's d-ary probes): latency is their max, traffic is their sum.
+    """
+
+    paddr: int
+    kind: AccessKind
+    level: int = 0
+    parallel_group: int = 0
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a software page walk: the PTE plus the accesses a
+    hardware walker would have performed to find it."""
+
+    pte: "PTE | None"
+    accesses: list = field(default_factory=list)
+
+    @property
+    def hit(self) -> bool:
+        return self.pte is not None
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+
+class TranslationError(Exception):
+    """Raised when a translation scheme is asked to do something invalid
+    (double-map, unmap of an absent page, walk of an unmapped VPN when
+    the caller demanded success, ...)."""

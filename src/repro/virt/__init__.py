@@ -1,0 +1,15 @@
+"""Virtualization: nested (2D) translation with radix and LVM tables."""
+
+from repro.virt.nested import (
+    NestedLVMWalker,
+    NestedRadixWalker,
+    NestedWalkOutcome,
+    build_host_mapping,
+)
+
+__all__ = [
+    "NestedLVMWalker",
+    "NestedRadixWalker",
+    "NestedWalkOutcome",
+    "build_host_mapping",
+]

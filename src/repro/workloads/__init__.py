@@ -1,0 +1,61 @@
+"""Workload substrate: address-space builders and trace generators."""
+
+from repro.workloads.address_space import (
+    BuiltAddressSpace,
+    SegmentSpec,
+    build_address_space,
+)
+from repro.workloads.allocator import ALLOCATORS, JEMALLOC, TCMALLOC, AllocatorModel
+from repro.workloads.graph import GRAPH_KERNELS, GraphTracer
+from repro.workloads.gups import gups_trace
+from repro.workloads.kronecker import CSRGraph, kronecker_graph
+from repro.workloads.layout import ArrayRef, HeapLayout, PagePool
+from repro.workloads.memcached import memcached_trace, zipf_ranks
+from repro.workloads.mummer import mummer_trace
+from repro.workloads.tracefile import (
+    TraceHeader,
+    TraceMismatch,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.registry import (
+    FOOTPRINT_SCALE,
+    PRODUCTION_WORKLOADS,
+    SUITE,
+    WORKLOADS,
+    BuiltWorkload,
+    WorkloadInfo,
+    build_workload,
+)
+
+__all__ = [
+    "ALLOCATORS",
+    "ArrayRef",
+    "BuiltAddressSpace",
+    "BuiltWorkload",
+    "CSRGraph",
+    "FOOTPRINT_SCALE",
+    "GRAPH_KERNELS",
+    "GraphTracer",
+    "HeapLayout",
+    "JEMALLOC",
+    "PRODUCTION_WORKLOADS",
+    "PagePool",
+    "SUITE",
+    "SegmentSpec",
+    "TraceHeader",
+    "TraceMismatch",
+    "TCMALLOC",
+    "WORKLOADS",
+    "WorkloadInfo",
+    "AllocatorModel",
+    "build_address_space",
+    "build_workload",
+    "gups_trace",
+    "kronecker_graph",
+    "memcached_trace",
+    "load_trace",
+    "mummer_trace",
+    "save_trace",
+    "zipf_ranks",
+]

@@ -1,0 +1,31 @@
+"""GUPS (Giga-Updates Per Second) from HPC Challenge (section 6.2).
+
+The canonical TLB-killer: random read-modify-write updates scattered
+uniformly over one enormous table.  Every access touches a random page,
+so TLB and page-walk-cache hit rates collapse — GUPS is the workload
+with the paper's highest reported miss rates (over 90%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.layout import ArrayRef
+
+
+def gups_trace(
+    table: ArrayRef, num_refs: int, seed: int = 0, batch_locality: int = 1
+) -> np.ndarray:
+    """Uniform random updates over the table.
+
+    ``batch_locality`` > 1 emits that many consecutive-element accesses
+    per random jump (HPCC RandomAccess updates small batches), which
+    adds cache-line but not page locality.
+    """
+    rng = np.random.default_rng(seed)
+    jumps = -(-num_refs // batch_locality)
+    bases = rng.integers(0, table.num_elements - batch_locality + 1, size=jumps)
+    if batch_locality == 1:
+        return table.va_of(bases)[:num_refs]
+    idx = (bases[:, None] + np.arange(batch_locality)[None, :]).reshape(-1)
+    return table.va_of(idx)[:num_refs]

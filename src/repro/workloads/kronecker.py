@@ -1,0 +1,88 @@
+"""Kronecker (RMAT) graph generation — the graphBIG input (section 6.2).
+
+The paper's graph workloads "take a Kronecker graph that produces a
+runtime memory footprint of 75GB".  We generate the same family of
+graphs (RMAT with the standard Graph500 parameters) at a scaled size
+and build a CSR representation the kernels traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Graph500 RMAT probabilities.
+RMAT_A, RMAT_B, RMAT_C = 0.57, 0.19, 0.19
+
+
+@dataclass
+class CSRGraph:
+    """Compressed-sparse-row adjacency."""
+
+    offsets: np.ndarray  # int64[num_vertices + 1]
+    edges: np.ndarray  # int32[num_edges]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.edges[self.offsets[v] : self.offsets[v + 1]]
+
+
+def rmat_edges(scale: int, edge_factor: int, seed: int = 0) -> np.ndarray:
+    """Sample RMAT edge pairs: shape (2, E) with E = edge_factor * 2^scale."""
+    rng = np.random.default_rng(seed)
+    num_edges = edge_factor << scale
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        # Quadrant choice per RMAT: a (0,0), b (0,1), c (1,0), d (1,1).
+        src_bit = (r >= RMAT_A + RMAT_B).astype(np.int64)
+        dst_bit = (
+            ((r >= RMAT_A) & (r < RMAT_A + RMAT_B))
+            | (r >= RMAT_A + RMAT_B + RMAT_C)
+        ).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    return np.stack([src, dst])
+
+
+def kronecker_graph(
+    scale: int, edge_factor: int = 16, seed: int = 0, scramble: bool = True
+) -> CSRGraph:
+    """Build a CSR Kronecker graph with 2^scale vertices.
+
+    ``scramble`` applies the standard Graph500 vertex-id permutation:
+    raw RMAT ids correlate with degree (low ids are hubs), which would
+    unrealistically concentrate traversal traffic on a few pages.
+    """
+    pairs = rmat_edges(scale, edge_factor, seed)
+    src, dst = pairs[0], pairs[1]
+    if scramble:
+        rng = np.random.default_rng(seed + 0x5EED)
+        perm = rng.permutation(1 << scale)
+        src = perm[src]
+        dst = perm[dst]
+    # Drop self-loops, symmetrize (graphBIG inputs are undirected).
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    order = np.argsort(all_src, kind="stable")
+    all_src = all_src[order]
+    all_dst = all_dst[order]
+    num_vertices = 1 << scale
+    counts = np.bincount(all_src, minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return CSRGraph(offsets=offsets, edges=all_dst.astype(np.int32))

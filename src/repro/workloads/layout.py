@@ -1,0 +1,85 @@
+"""Heap/arena layout helpers for the workload builders.
+
+Workloads place their data structures (CSR arrays, hash tables, slabs)
+inside large VMAs.  ``HeapLayout`` hands out virtually-contiguous array
+regions inside one segment — exactly what userspace allocators do for
+large objects, and the root cause of the address-space regularity the
+paper measures (section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.types import BASE_PAGE_SIZE, align_up
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A named, virtually contiguous array placed in the heap."""
+
+    name: str
+    base_va: int
+    nbytes: int
+    stride: int
+
+    def va_of(self, index) -> int:
+        """VA of element ``index`` (scalar or numpy array)."""
+        return self.base_va + index * self.stride
+
+    @property
+    def num_elements(self) -> int:
+        return self.nbytes // self.stride
+
+    @property
+    def pages(self) -> int:
+        return align_up(self.nbytes, BASE_PAGE_SIZE) // BASE_PAGE_SIZE
+
+
+class HeapLayout:
+    """Sequential array placement inside one virtual segment."""
+
+    def __init__(self, base_vpn: int):
+        self.base_vpn = base_vpn
+        self._cursor_va = base_vpn * BASE_PAGE_SIZE
+        self.arrays: List[ArrayRef] = []
+
+    def add_array(self, name: str, num_elements: int, stride: int) -> ArrayRef:
+        nbytes = num_elements * stride
+        ref = ArrayRef(name, self._cursor_va, nbytes, stride)
+        self.arrays.append(ref)
+        # Page-align the next array, as large allocations are.
+        self._cursor_va = align_up(self._cursor_va + nbytes, BASE_PAGE_SIZE)
+        return ref
+
+    @property
+    def total_pages(self) -> int:
+        end_vpn = align_up(self._cursor_va, BASE_PAGE_SIZE) // BASE_PAGE_SIZE
+        return end_vpn - self.base_vpn
+
+
+class PagePool:
+    """Array-like view over the mapped pages of hole-riddled segments.
+
+    Segments built by the allocator model are not virtually contiguous;
+    trace generators that want "random element in this structure"
+    semantics index into the pool, which maps element indexes onto the
+    actual mapped pages.  Duck-types ``ArrayRef``'s ``num_elements`` /
+    ``va_of`` so generators accept either.
+    """
+
+    def __init__(self, vpns, stride: int = 64):
+        import numpy as np
+
+        self.vpns = np.asarray(vpns, dtype=np.int64)
+        self.stride = stride
+        self.per_page = BASE_PAGE_SIZE // stride
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.vpns) * self.per_page
+
+    def va_of(self, index):
+        page = self.vpns[index // self.per_page]
+        return page * BASE_PAGE_SIZE + (index % self.per_page) * self.stride

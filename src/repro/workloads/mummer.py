@@ -1,0 +1,45 @@
+"""MUMmer DNA sequence alignment traces (BioBench, section 6.2).
+
+MUMmer builds a suffix tree over a reference genome and streams query
+sequences against it: long sequential scans over the query/reference
+arrays interleaved with pointer-chasing descents through the suffix
+tree — the tree walks are the random, TLB-hostile component (the paper
+reports >90% TLB miss rates for MUMmer).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.layout import ArrayRef
+
+
+def mummer_trace(
+    reference: ArrayRef,
+    suffix_tree: ArrayRef,
+    query: ArrayRef,
+    num_refs: int,
+    seed: int = 0,
+    match_len: int = 24,
+) -> np.ndarray:
+    """Alternate query streaming with suffix-tree descents.
+
+    Per query position: one sequential query read, ``match_len``-deep
+    random tree-node chain, and one reference read at the match site.
+    """
+    rng = np.random.default_rng(seed)
+    per_match = 2 + match_len
+    matches = -(-num_refs // per_match)
+    out: List[np.ndarray] = []
+    q_pos = rng.integers(0, max(1, query.num_elements - matches))
+    tree_nodes = rng.integers(0, suffix_tree.num_elements, size=(matches, match_len))
+    ref_hits = rng.integers(0, reference.num_elements, size=matches)
+    for i in range(matches):
+        block = np.empty(per_match, dtype=np.int64)
+        block[0] = query.va_of(int(q_pos) + i)
+        block[1:-1] = suffix_tree.va_of(tree_nodes[i])
+        block[-1] = reference.va_of(int(ref_hits[i]))
+        out.append(block)
+    return np.concatenate(out)[:num_refs]

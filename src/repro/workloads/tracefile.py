@@ -1,0 +1,83 @@
+"""Trace persistence: save and reload workload access traces.
+
+Regenerating a trace (especially the Kronecker-graph kernels) costs
+seconds; persisted traces make experiment sweeps reproducible and
+shareable.  The format is a `.npz` holding the address array plus a
+metadata record (workload name, refs, seed, instructions-per-ref,
+footprint scale) so a loaded trace can be validated against the
+workload it claims to come from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.registry import BuiltWorkload
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Provenance of a saved trace."""
+
+    workload: str
+    refs: int
+    seed: int
+    instructions_per_ref: float
+    format_version: int = FORMAT_VERSION
+
+
+class TraceMismatch(Exception):
+    """A loaded trace does not match the expected provenance."""
+
+
+def save_trace(
+    path: Union[str, Path],
+    workload: BuiltWorkload,
+    num_refs: int,
+    seed: int = 0,
+) -> TraceHeader:
+    """Generate and persist a trace; returns its header."""
+    trace = workload.trace(num_refs, seed)
+    header = TraceHeader(
+        workload=workload.info.name,
+        refs=len(trace),
+        seed=seed,
+        instructions_per_ref=workload.info.instructions_per_ref,
+    )
+    np.savez_compressed(
+        Path(path),
+        addresses=trace,
+        header=np.frombuffer(
+            json.dumps(asdict(header)).encode(), dtype=np.uint8
+        ),
+    )
+    return header
+
+
+def load_trace(
+    path: Union[str, Path],
+    expect_workload: Union[str, None] = None,
+) -> "tuple[np.ndarray, TraceHeader]":
+    """Load a trace; optionally validate which workload produced it."""
+    with np.load(Path(path)) as data:
+        addresses = data["addresses"]
+        header_dict = json.loads(bytes(data["header"]).decode())
+    if header_dict.get("format_version") != FORMAT_VERSION:
+        raise TraceMismatch(
+            f"unsupported trace format {header_dict.get('format_version')}"
+        )
+    header = TraceHeader(**header_dict)
+    if expect_workload is not None and header.workload != expect_workload:
+        raise TraceMismatch(
+            f"trace is from {header.workload!r}, expected {expect_workload!r}"
+        )
+    if len(addresses) != header.refs:
+        raise TraceMismatch("trace length does not match its header")
+    return addresses, header

@@ -1,0 +1,100 @@
+"""Tests for the analysis package (figures 2/3, sections 7.3/7.4)."""
+
+import pytest
+
+from repro.analysis import (
+    allocator_divergence,
+    bytes_human,
+    collision_study,
+    compare_default,
+    gap_coverage_study,
+    index_size_table,
+    lwc_cost,
+    memory_consumption_study,
+    minimum_coverage,
+    pwc_entries_for_footprint,
+    radix_pwc_cost,
+    render_series,
+    render_table,
+    run_contiguity_study,
+    scaling_study,
+)
+
+
+class TestGapCoverage:
+    def test_subset_study(self):
+        rows = gap_coverage_study(
+            workload_names=["gups", "MUMr"], allocators=["jemalloc"]
+        )
+        assert len(rows) == 2
+        assert minimum_coverage(rows) > 0.7
+
+    def test_allocator_divergence(self):
+        rows = gap_coverage_study(
+            workload_names=["MUMr"], allocators=["jemalloc", "tcmalloc"]
+        )
+        assert allocator_divergence(rows) < 0.05
+
+
+class TestContiguity:
+    def test_shape(self):
+        study = run_contiguity_study(mem_bytes=256 << 20, churn_rounds=3)
+        assert study.profile.at(4 << 10) == 1.0
+        assert study.profile.at(64 << 20) < 0.2
+        assert 0.0 <= study.fmfi_2m <= 1.0
+
+
+class TestCollisions:
+    def test_collision_study_runs(self):
+        row = collision_study("gups", num_lookups=3000)
+        assert row.lvm_collision_rate < row.hash_collision_rate
+        assert row.index_size_bytes > 0
+
+    def test_memory_consumption(self):
+        row = memory_consumption_study("MUMr")
+        assert row.minimum_bytes == row.mapped_pages * 8
+        assert row.lvm_overhead_bytes < row.ecpt_overhead_bytes
+
+    def test_index_size_table(self):
+        table = index_size_table(["gups"])
+        assert set(table["gups"]) == {"4KB", "THP"}
+
+    def test_scaling_study_flat(self):
+        sizes = scaling_study(footprints_gb=[16, 64])
+        values = list(sizes.values())
+        assert max(values) - min(values) <= 32
+
+
+class TestAreaModel:
+    def test_paper_anchors(self):
+        cmp = compare_default()
+        assert cmp.bytes_ratio == pytest.approx(3.0, rel=0.01)
+        assert cmp.area_ratio == pytest.approx(1.5, rel=0.05)
+        assert cmp.power_ratio == pytest.approx(1.9, rel=0.05)
+
+    def test_lwc_absolutes(self):
+        lwc = lwc_cost()
+        assert lwc.area_mm2 == pytest.approx(0.00364, rel=0.02)
+        assert lwc.leakage_mw == pytest.approx(0.588, rel=0.02)
+
+    def test_area_monotone_in_entries(self):
+        assert radix_pwc_cost(64).area_mm2 > radix_pwc_cost(32).area_mm2
+
+    def test_pwc_scaling_with_footprint(self):
+        assert pwc_entries_for_footprint(1 << 40) > pwc_entries_for_footprint(1 << 34)
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text
+
+    def test_render_series(self):
+        assert render_series("s", {"a": 1.0}) == "s: a=1.000"
+
+    def test_bytes_human(self):
+        assert bytes_human(512) == "512B"
+        assert bytes_human(2048) == "2.0KB"
+        assert bytes_human(3 << 20) == "3.0MB"

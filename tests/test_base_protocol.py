@@ -1,0 +1,70 @@
+"""PageTable protocol conformance and the walk helpers."""
+
+from repro.kernel.manager import LVMManager
+from repro.mem.allocator import BumpAllocator
+from repro.pagetables import (
+    ECPT,
+    FlattenedPageTable,
+    HashedPageTable,
+    IdealPageTable,
+    PageTable,
+    RadixPageTable,
+    walk_serial_length,
+    walk_traffic,
+)
+from repro.types import PTE, AccessKind, WalkAccess, WalkResult
+
+
+ALL_TABLES = [
+    lambda: RadixPageTable(BumpAllocator()),
+    lambda: HashedPageTable(BumpAllocator()),
+    lambda: ECPT(BumpAllocator(), initial_size=64),
+    lambda: FlattenedPageTable(BumpAllocator()),
+    lambda: IdealPageTable(BumpAllocator()),
+    lambda: LVMManager(BumpAllocator()),
+]
+
+
+class TestProtocolConformance:
+    def test_all_schemes_satisfy_protocol(self):
+        for factory in ALL_TABLES:
+            table = factory()
+            assert isinstance(table, PageTable), type(table)
+
+    def test_table_bytes_nonnegative(self):
+        for factory in ALL_TABLES:
+            table = factory()
+            table.map(PTE(vpn=1, ppn=1))
+            assert table.table_bytes >= 0
+
+
+class TestWalkHelpers:
+    def test_walk_traffic_counts_accesses(self):
+        result = WalkResult(None, [
+            WalkAccess(0, AccessKind.PT_NODE, level=4),
+            WalkAccess(8, AccessKind.PT_LEAF, level=1),
+        ])
+        assert walk_traffic(result) == 2
+
+    def test_serial_length_collapses_parallel_groups(self):
+        result = WalkResult(None, [
+            WalkAccess(0, AccessKind.PT_LEAF, level=1, parallel_group=0),
+            WalkAccess(8, AccessKind.PT_LEAF, level=1, parallel_group=0),
+            WalkAccess(16, AccessKind.PT_LEAF, level=1, parallel_group=0),
+            WalkAccess(99, AccessKind.CWT, level=5),
+        ])
+        # Three parallel probes = one serial step; CWT = another.
+        assert walk_serial_length(result) == 2
+        assert walk_traffic(result) == 4
+
+    def test_radix_walk_is_fully_serial(self):
+        table = RadixPageTable(BumpAllocator())
+        table.map(PTE(vpn=7, ppn=7))
+        result = table.walk(7)
+        assert walk_serial_length(result) == walk_traffic(result) == 4
+
+    def test_ecpt_walk_parallelism(self):
+        table = ECPT(BumpAllocator(), initial_size=64)
+        table.map(PTE(vpn=7, ppn=7))
+        result = table.walk(7)
+        assert walk_traffic(result) > walk_serial_length(result)

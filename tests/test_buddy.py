@@ -1,0 +1,138 @@
+"""Tests for the buddy allocator and fragmentation tools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.allocator import BumpAllocator, OutOfPhysicalMemory
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import (
+    datacenter_churn,
+    fragment_to_fmfi,
+    fragment_to_max_contiguity,
+    measure_contiguity,
+)
+from repro.types import BASE_PAGE_SIZE
+
+MB = 1 << 20
+
+
+class TestBuddyBasics:
+    def test_order_for(self):
+        assert BuddyAllocator.order_for(1) == 0
+        assert BuddyAllocator.order_for(4096) == 0
+        assert BuddyAllocator.order_for(4097) == 1
+        assert BuddyAllocator.order_for(2 * MB) == 9
+
+    def test_alloc_free_roundtrip(self):
+        buddy = BuddyAllocator(16 * MB)
+        before = buddy.free_pages
+        paddr = buddy.alloc(64 << 10)
+        assert buddy.free_pages == before - 16
+        buddy.free(paddr, 64 << 10)
+        assert buddy.free_pages == before
+
+    def test_alignment(self):
+        buddy = BuddyAllocator(16 * MB)
+        paddr = buddy.alloc_order(4)
+        assert (paddr // BASE_PAGE_SIZE) % 16 == 0
+
+    def test_coalescing_restores_max_block(self):
+        buddy = BuddyAllocator(16 * MB)
+        initial_max = buddy.max_contiguous_bytes()
+        allocs = [buddy.alloc_order(0) for _ in range(64)]
+        assert buddy.max_contiguous_bytes() < initial_max or len(allocs) > 0
+        for paddr in allocs:
+            buddy.free_order(paddr, 0)
+        assert buddy.max_contiguous_bytes() == initial_max
+
+    def test_exhaustion_raises(self):
+        buddy = BuddyAllocator(1 * MB)
+        with pytest.raises(OutOfPhysicalMemory):
+            buddy.alloc(2 * MB)
+
+    def test_split_reduces_contiguity(self):
+        buddy = BuddyAllocator(4 * MB)
+        buddy.alloc_order(0)
+        # Largest block is now below the total.
+        assert buddy.max_contiguous_bytes() < 4 * MB
+
+    def test_free_misaligned_rejected(self):
+        buddy = BuddyAllocator(4 * MB)
+        paddr = buddy.alloc_order(2)
+        with pytest.raises(ValueError):
+            buddy.free_order(paddr + BASE_PAGE_SIZE, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=60))
+    def test_alloc_free_conservation_property(self, orders):
+        buddy = BuddyAllocator(64 * MB)
+        total = buddy.free_pages
+        live = []
+        for order in orders:
+            try:
+                live.append((buddy.alloc_order(order), order))
+            except OutOfPhysicalMemory:
+                pass
+        assert buddy.free_pages == total - sum(1 << o for _, o in live)
+        for paddr, order in live:
+            buddy.free_order(paddr, order)
+        assert buddy.free_pages == total
+        # Full coalescing back to the seed blocks.
+        assert buddy.max_contiguous_bytes() >= 32 * MB
+
+
+class TestFragmentationTools:
+    def test_max_contiguity_cap(self):
+        buddy = BuddyAllocator(64 * MB)
+        fragment_to_max_contiguity(buddy, 256 << 10)
+        assert buddy.max_contiguous_bytes() <= 256 << 10
+        # The cap size itself stays plentiful.
+        assert buddy.contiguity_fraction(256 << 10) > 0.3
+
+    def test_fmfi_target(self):
+        buddy = BuddyAllocator(128 * MB)
+        fragment_to_fmfi(buddy, 0.8, order=9)
+        assert buddy.fmfi(9) >= 0.8
+
+    def test_churn_shape_matches_figure3(self):
+        buddy = BuddyAllocator(512 * MB)
+        datacenter_churn(buddy, target_occupancy=0.7, seed=5)
+        profile = measure_contiguity(buddy)
+        # Small contiguity plentiful, large contiguity gone.
+        assert profile.at(4 << 10) == 1.0
+        assert profile.at(64 << 10) > 0.4
+        assert profile.at(64 << 20) < 0.05
+        # Monotone non-increasing with block size.
+        values = [frac for _, frac in profile.rows()]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_churn_hits_occupancy(self):
+        buddy = BuddyAllocator(256 * MB)
+        datacenter_churn(buddy, target_occupancy=0.6, seed=9)
+        used_fraction = buddy.used_bytes / (buddy.total_pages * BASE_PAGE_SIZE)
+        assert 0.5 < used_fraction < 0.7
+
+    def test_fmfi_zero_when_unfragmented(self):
+        buddy = BuddyAllocator(64 * MB)
+        assert buddy.fmfi(9) == 0.0
+
+
+class TestBumpAllocator:
+    def test_monotone_and_aligned(self):
+        bump = BumpAllocator()
+        a = bump.alloc(100)
+        b = bump.alloc(100)
+        assert b > a
+        assert a % 64 == 0
+
+    def test_live_accounting(self):
+        bump = BumpAllocator()
+        a = bump.alloc(4096)
+        bump.free(a, 4096)
+        assert bump.live_bytes == 0
+
+    def test_contiguity_cap(self):
+        bump = BumpAllocator(contiguity_cap=1 << 20)
+        assert bump.max_contiguous_bytes() == 1 << 20
+        with pytest.raises(OutOfPhysicalMemory):
+            bump.alloc(2 << 20)

@@ -1,0 +1,55 @@
+"""Tests for the artifact-regeneration CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in COMMANDS:
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tab1"])
+        assert args.refs == 30_000
+        assert args.workloads is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_tab1(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "LVM Page Walk Cache" in out
+
+    def test_hardware(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes=3.00" in out
+
+    def test_tab2_subset(self, capsys):
+        assert main(["tab2", "--workloads", "gups"]) == 0
+        out = capsys.readouterr().out
+        assert "gups" in out
+
+    def test_fig9_tiny(self, capsys):
+        assert main([
+            "fig9", "--workloads", "gups", "--refs", "2000"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "lvm" in out
+
+    def test_collisions_tiny(self, capsys):
+        assert main([
+            "collisions", "--workloads", "gups", "--refs", "2000"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "collision rates" in out

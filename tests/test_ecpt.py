@@ -1,0 +1,133 @@
+"""Tests for the elastic cuckoo page table baseline (sections 2.2, 6.3)."""
+
+import pytest
+
+from repro.mem.allocator import BumpAllocator
+from repro.pagetables.ecpt import ECPT
+from repro.types import PTE, AccessKind, PageSize, TranslationError
+
+
+def make_table(**kw):
+    return ECPT(BumpAllocator(), **kw)
+
+
+class TestBasics:
+    def test_map_walk(self):
+        table = make_table()
+        pte = PTE(vpn=0x42, ppn=7)
+        table.map(pte)
+        result = table.walk(0x42)
+        assert result.pte is pte
+
+    def test_miss(self):
+        table = make_table()
+        table.map(PTE(vpn=0x42, ppn=7))
+        assert not table.walk(0x43).hit
+
+    def test_unmap(self):
+        table = make_table()
+        table.map(PTE(vpn=0x42, ppn=7))
+        table.unmap(0x42)
+        assert not table.walk(0x42).hit
+        with pytest.raises(TranslationError):
+            table.unmap(0x42)
+
+    def test_duplicate_rejected(self):
+        table = make_table()
+        table.map(PTE(vpn=1, ppn=1))
+        with pytest.raises(TranslationError):
+            table.map(PTE(vpn=1, ppn=2))
+
+    def test_many_keys(self):
+        table = make_table(initial_size=64)
+        ptes = [PTE(vpn=v * 3, ppn=v) for v in range(5000)]
+        for p in ptes:
+            table.map(p)
+        assert all(table.walk(p.vpn).pte is p for p in ptes[::97])
+        assert table.stats.resizes > 0
+
+
+class TestParallelProbes:
+    def test_three_probes_for_4k_region(self):
+        table = make_table()
+        table.map(PTE(vpn=5, ppn=5))
+        result = table.walk(5)
+        probes = [a for a in result.accesses if a.kind is AccessKind.PT_LEAF]
+        assert len(probes) == 3  # d = 3 ways, one page size in region
+
+    def test_probes_share_parallel_group(self):
+        table = make_table()
+        table.map(PTE(vpn=5, ppn=5))
+        result = table.walk(5)
+        probes = [a for a in result.accesses if a.kind is AccessKind.PT_LEAF]
+        assert len({a.parallel_group for a in probes}) == 1
+
+    def test_cwt_consult_is_pud_only_for_uniform_region(self):
+        table = make_table()
+        table.map(PTE(vpn=5, ppn=5))
+        result = table.walk(5)
+        cwt = [a for a in result.accesses if a.kind is AccessKind.CWT]
+        assert len(cwt) == 1  # only the PUD-level CWT
+
+    def test_mixed_region_probes_both_sizes(self):
+        table = make_table()
+        table.map(PTE(vpn=5, ppn=5))
+        # Same 1 GB region, different 2 MB region, huge page:
+        table.map(PTE(vpn=1024, ppn=6, page_size=PageSize.SIZE_2M))
+        result = table.walk(5)
+        cwt = [a for a in result.accesses if a.kind is AccessKind.CWT]
+        assert len(cwt) == 2  # PUD is mixed, PMD consulted too
+        probes = [a for a in result.accesses if a.kind is AccessKind.PT_LEAF]
+        # PMD-CWT trims to the single size present in this 2 MB region.
+        assert len(probes) == 3
+
+    def test_unmapped_region_no_probes(self):
+        table = make_table()
+        table.map(PTE(vpn=5, ppn=5))
+        far = 10 << 18  # different PUD region entirely
+        result = table.walk(far)
+        probes = [a for a in result.accesses if a.kind is AccessKind.PT_LEAF]
+        assert probes == []
+
+
+class TestHugePages:
+    def test_huge_page_round_down(self):
+        table = make_table()
+        pte = PTE(vpn=1024, ppn=9, page_size=PageSize.SIZE_2M)
+        table.map(pte)
+        assert table.walk(1024 + 300).pte is pte
+
+    def test_per_size_tables(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1))
+        table.map(PTE(vpn=1024, ppn=2, page_size=PageSize.SIZE_2M))
+        assert table.walk(0).pte.ppn == 1
+        assert table.walk(1100).pte.ppn == 2
+
+    def test_cwt_cleared_on_unmap(self):
+        table = make_table()
+        table.map(PTE(vpn=1024, ppn=2, page_size=PageSize.SIZE_2M))
+        table.map(PTE(vpn=5, ppn=5))
+        table.unmap(1024)
+        # Region is 4K-only again; a walk probes one size.
+        probes = [
+            a for a in table.walk(5).accesses if a.kind is AccessKind.PT_LEAF
+        ]
+        assert len(probes) == 3
+
+
+class TestMemory:
+    def test_load_factor_bounded(self):
+        table = make_table(initial_size=128)
+        for v in range(2000):
+            table.map(PTE(vpn=v, ppn=v))
+        for t in table.tables.values():
+            assert t.load_factor <= 0.6 + 1e-9
+
+    def test_table_bytes_overprovisioned(self):
+        table = make_table(initial_size=128)
+        n = 2000
+        for v in range(n):
+            table.map(PTE(vpn=v, ppn=v))
+        # Over-provisioning beyond 8 B per translation (section 7.3).
+        assert table.table_bytes > n * 8

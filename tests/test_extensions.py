@@ -1,0 +1,67 @@
+"""Tests for the section 9 future-work prototype (learned LLC index)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    LearnedCache,
+    LearnedSetIndex,
+    conflict_study,
+    hot_region_trace,
+    strided_trace,
+)
+
+
+class TestLearnedSetIndex:
+    def test_sets_in_range(self):
+        sample = [i * 64 for i in range(1000)]
+        idx = LearnedSetIndex(128, sample)
+        for paddr in sample[::17]:
+            assert 0 <= idx.set_of(paddr) < 128
+
+    def test_dense_sample_spreads_evenly(self):
+        sample = [i * 64 for i in range(4096)]
+        idx = LearnedSetIndex(256, sample)
+        sets = {idx.set_of(a) for a in sample}
+        assert len(sets) > 200
+
+    def test_aliasing_sample_spreads(self):
+        # 64 lines all aliasing to one modulo set.
+        sample = [(1 << 14) * i for i in range(64)]
+        idx = LearnedSetIndex(256, sample)
+        sets = {idx.set_of(a) for a in sample}
+        assert len(sets) >= 32
+
+    def test_model_is_tiny(self):
+        sample = [i * 64 for i in range(10_000)]
+        idx = LearnedSetIndex(256, sample)
+        assert idx.model_bytes <= 256
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedSetIndex(128, [])
+
+
+class TestConflictStudy:
+    def test_strided_pathology_fixed(self):
+        trace = strided_trace(16 << 10, lines=64, repeats=30)
+        study = conflict_study(trace)
+        assert study.miss_reduction > 0.8
+
+    def test_hot_regions_fixed(self):
+        trace = hot_region_trace(8, 4 << 10, accesses=10_000)
+        study = conflict_study(trace)
+        assert study.miss_reduction > 0.7
+
+    def test_uniform_not_hurt(self):
+        rng = np.random.default_rng(2)
+        trace = (rng.integers(0, 1 << 22, size=10_000) * 64).tolist()
+        study = conflict_study(trace)
+        # Within a few percent of modulo on conflict-free traffic.
+        assert abs(study.miss_reduction) < 0.05
+
+    def test_learned_cache_is_a_cache(self):
+        cache = LearnedCache("t", 4096, 4, latency=1, sample=[0, 64, 128])
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.mpki(1000) >= 0

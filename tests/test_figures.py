@@ -1,0 +1,46 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.analysis import render_bars, render_cdf, render_grouped_bars
+
+
+class TestRenderBars:
+    def test_basic_shape(self):
+        text = render_bars({"a": 1.0, "bb": 2.0}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_reference_marker_visible_below_unity(self):
+        text = render_bars({"x": 0.5}, reference=1.0)
+        assert "|" in text
+
+    def test_values_printed(self):
+        text = render_bars({"x": 1.234})
+        assert "1.234" in text
+
+    def test_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+    def test_custom_format(self):
+        text = render_bars({"x": 200.0}, value_format="{:.0f}")
+        assert "200" in text
+
+
+class TestGroupedBars:
+    def test_groups_labelled(self):
+        text = render_grouped_bars(
+            {"gups": {"lvm": 1.2}, "bfs": {"lvm": 1.1}}, title="F"
+        )
+        assert "[gups]" in text and "[bfs]" in text
+        assert text.splitlines()[0] == "F"
+
+
+class TestCDF:
+    def test_percentiles_monotone(self):
+        text = render_cdf(list(range(100)), points=4)
+        values = [float(l.split()[-1]) for l in text.splitlines()]
+        assert values == sorted(values)
+
+    def test_empty(self):
+        assert render_cdf([], title="t") == "t"

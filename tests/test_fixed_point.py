@@ -1,0 +1,98 @@
+"""Tests for Q44.20 fixed-point arithmetic (paper section 4.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fixed_point import (
+    FRACTION_BITS,
+    MODEL_BYTES,
+    SCALE,
+    FixedPoint,
+    FixedPointOverflow,
+    linear_predict,
+    quantize,
+)
+
+
+class TestFormat:
+    def test_q44_20_geometry(self):
+        assert FRACTION_BITS == 20
+        assert SCALE == 1 << 20
+        assert MODEL_BYTES == 16  # slope + intercept, 8 bytes each
+
+    def test_roundtrip_small_values(self):
+        for v in (0.0, 1.0, -1.0, 0.5, 3.25, -2.75):
+            assert FixedPoint.from_float(v).to_float() == pytest.approx(v)
+
+    def test_precision_is_2_to_minus_20(self):
+        x = FixedPoint.from_float(1e-7)
+        # Below representable precision: rounds to 0.
+        assert x.raw == 0
+        y = FixedPoint.from_float(1.0 / SCALE)
+        assert y.raw == 1
+
+    def test_overflow_rejected(self):
+        with pytest.raises(FixedPointOverflow):
+            FixedPoint.from_int(1 << 44)
+        # Max positive integer part fits.
+        FixedPoint.from_int((1 << 43) - 1)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = FixedPoint.from_float(1.5)
+        b = FixedPoint.from_float(2.25)
+        assert (a + b).to_float() == pytest.approx(3.75)
+        assert (b - a).to_float() == pytest.approx(0.75)
+
+    def test_mul(self):
+        a = FixedPoint.from_float(1.5)
+        b = FixedPoint.from_float(2.0)
+        assert (a * b).to_float() == pytest.approx(3.0)
+
+    def test_mul_int_matches_hardware_path(self):
+        slope = FixedPoint.from_float(0.75)
+        assert slope.mul_int(100).floor() == 75
+
+    def test_floor_rounds_toward_negative_infinity(self):
+        assert FixedPoint.from_float(-0.5).floor() == -1
+        assert FixedPoint.from_float(0.5).floor() == 0
+        assert FixedPoint.from_float(-1.0).floor() == -1
+
+    def test_comparison(self):
+        assert FixedPoint.from_float(1.0) < FixedPoint.from_float(2.0)
+        assert FixedPoint.from_float(1.0) <= FixedPoint.from_float(1.0)
+
+    def test_negation(self):
+        assert (-FixedPoint.from_float(2.5)).to_float() == pytest.approx(-2.5)
+
+
+class TestLinearPredict:
+    def test_matches_float_math(self):
+        slope, intercept = 1.3, -97.0
+        s, t = quantize(slope), quantize(intercept)
+        for x in (0, 1, 100, 139, 10_000, 1 << 30):
+            got = linear_predict(s, t, x)
+            approx = slope * x + intercept
+            # Slope quantization error is up to 2^-21 relative, which
+            # grows linearly with x.
+            assert abs(got - approx) <= abs(x) * 2 ** -FRACTION_BITS + 2
+
+    def test_paper_example(self):
+        # Section 4.1: y = 1*x - 97 at x = 139 gives 42 -> PA 0x8b... the
+        # slot index is 42.
+        s, t = quantize(1.0), quantize(-97.0)
+        assert linear_predict(s, t, 139) == 42
+
+    @given(
+        st.floats(min_value=-1000, max_value=1000),
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.integers(min_value=0, max_value=1 << 35),
+    )
+    def test_error_bounded_by_one_ulp_property(self, slope, intercept, x):
+        s, t = quantize(slope), quantize(intercept)
+        exact = slope * x + intercept
+        got = linear_predict(s, t, x)
+        # Quantization error: slope error up to 2^-21 * x, plus rounding.
+        bound = abs(x) * (2 ** -FRACTION_BITS) + 2
+        assert abs(got - exact) <= bound

@@ -1,0 +1,84 @@
+"""Tests for the Blake2 hashed page table (section 7.3 baseline)."""
+
+import pytest
+
+from repro.mem.allocator import BumpAllocator
+from repro.pagetables.hashed import HashedPageTable, blake2_slot
+from repro.types import PTE, TranslationError
+
+
+def make_table(**kw):
+    return HashedPageTable(BumpAllocator(), **kw)
+
+
+class TestHashing:
+    def test_blake2_slot_deterministic(self):
+        assert blake2_slot(12345, 1024) == blake2_slot(12345, 1024)
+
+    def test_blake2_slot_in_range(self):
+        for vpn in range(0, 100_000, 997):
+            assert 0 <= blake2_slot(vpn, 777) < 777
+
+    def test_salt_changes_slot(self):
+        hits = sum(
+            blake2_slot(v, 1 << 20, 0) == blake2_slot(v, 1 << 20, 1)
+            for v in range(1000)
+        )
+        assert hits < 10  # essentially independent
+
+
+class TestTable:
+    def test_map_walk(self):
+        table = make_table()
+        pte = PTE(vpn=99, ppn=5)
+        table.map(pte)
+        assert table.walk(99).pte is pte
+
+    def test_miss(self):
+        table = make_table()
+        table.map(PTE(vpn=99, ppn=5))
+        assert not table.walk(100).hit
+
+    def test_load_factor_maintained(self):
+        table = make_table(initial_capacity=64, max_load=0.6)
+        for v in range(1000):
+            table.map(PTE(vpn=v, ppn=v))
+        assert table.load_factor <= 0.6
+        assert all(table.walk(v).hit for v in range(0, 1000, 97))
+
+    def test_unmap_preserves_probe_chains(self):
+        table = make_table(initial_capacity=64)
+        for v in range(30):
+            table.map(PTE(vpn=v, ppn=v))
+        table.unmap(13)
+        assert not table.find(13)
+        for v in range(30):
+            if v != 13:
+                assert table.walk(v).hit, v
+
+    def test_duplicate_rejected(self):
+        table = make_table()
+        table.map(PTE(vpn=1, ppn=1))
+        with pytest.raises(TranslationError):
+            table.map(PTE(vpn=1, ppn=2))
+
+    def test_unmap_absent_rejected(self):
+        with pytest.raises(TranslationError):
+            make_table().unmap(3)
+
+    def test_collision_rate_near_paper_value(self):
+        # Section 7.3: ~22% of lookups collide at load factor 0.6.
+        table = make_table(initial_capacity=1 << 15)
+        n = int((1 << 15) * 0.59)
+        for v in range(n):
+            table.map(PTE(vpn=v * 7919, ppn=v))
+        for v in range(n):
+            table.walk(v * 7919)
+        assert 0.10 < table.collision_rate < 0.40
+
+    def test_walk_reports_line_accesses(self):
+        table = make_table()
+        table.map(PTE(vpn=4, ppn=4))
+        result = table.walk(4)
+        assert result.num_accesses >= 1
+        assert result.accesses[0].paddr % 64 == 0

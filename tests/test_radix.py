@@ -1,0 +1,121 @@
+"""Tests for the 4-level radix page table baseline."""
+
+import pytest
+
+from repro.mem.allocator import BumpAllocator
+from repro.pagetables.radix import RadixPageTable, level_index
+from repro.types import PTE, AccessKind, PageSize, TranslationError
+
+
+def make_table():
+    return RadixPageTable(BumpAllocator())
+
+
+class TestIndexing:
+    def test_level_index_slices(self):
+        vpn = (3 << 27) | (5 << 18) | (7 << 9) | 11
+        assert level_index(vpn, 4) == 3
+        assert level_index(vpn, 3) == 5
+        assert level_index(vpn, 2) == 7
+        assert level_index(vpn, 1) == 11
+
+
+class TestMapping:
+    def test_map_walk_4k(self):
+        table = make_table()
+        pte = PTE(vpn=0x12345, ppn=7)
+        table.map(pte)
+        result = table.walk(0x12345)
+        assert result.pte is pte
+        assert result.num_accesses == 4  # full four-level walk
+
+    def test_walk_levels_descend(self):
+        table = make_table()
+        table.map(PTE(vpn=0x12345, ppn=7))
+        levels = [a.level for a in table.walk(0x12345).accesses]
+        assert levels == [4, 3, 2, 1]
+        kinds = [a.kind for a in table.walk(0x12345).accesses]
+        assert kinds[-1] is AccessKind.PT_LEAF
+
+    def test_2m_page_walk_is_three_accesses(self):
+        table = make_table()
+        pte = PTE(vpn=512 * 10, ppn=9, page_size=PageSize.SIZE_2M)
+        table.map(pte)
+        result = table.walk(512 * 10 + 77)
+        assert result.pte is pte
+        assert result.num_accesses == 3
+
+    def test_1g_page_walk_is_two_accesses(self):
+        table = make_table()
+        pte = PTE(vpn=0, ppn=9, page_size=PageSize.SIZE_1G)
+        table.map(pte)
+        result = table.walk(123_456)
+        assert result.pte is pte
+        assert result.num_accesses == 2
+
+    def test_miss_stops_at_absent_level(self):
+        table = make_table()
+        table.map(PTE(vpn=0x12345, ppn=7))
+        result = table.walk(0x999999999)
+        assert not result.hit
+        assert result.num_accesses < 4
+
+    def test_misaligned_huge_rejected(self):
+        table = make_table()
+        with pytest.raises(TranslationError):
+            table.map(PTE(vpn=5, ppn=0, page_size=PageSize.SIZE_2M))
+
+    def test_double_map_rejected(self):
+        table = make_table()
+        table.map(PTE(vpn=1, ppn=1))
+        with pytest.raises(TranslationError):
+            table.map(PTE(vpn=1, ppn=2))
+
+    def test_huge_overlapping_small_rejected(self):
+        table = make_table()
+        table.map(PTE(vpn=512, ppn=1))
+        with pytest.raises(TranslationError):
+            table.map(PTE(vpn=512, ppn=2, page_size=PageSize.SIZE_2M))
+
+    def test_unmap(self):
+        table = make_table()
+        table.map(PTE(vpn=44, ppn=1))
+        table.unmap(44)
+        assert not table.walk(44).hit
+        with pytest.raises(TranslationError):
+            table.unmap(44)
+
+    def test_unmap_interior_vpn_rejected(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1, page_size=PageSize.SIZE_2M))
+        with pytest.raises(TranslationError):
+            table.unmap(5)
+
+
+class TestTableBytes:
+    def test_one_chain_is_four_tables(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1))
+        assert table.table_bytes == 4 * 4096
+
+    def test_shared_upper_levels(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1))
+        before = table.table_bytes
+        table.map(PTE(vpn=1, ppn=2))  # same leaf PT
+        assert table.table_bytes == before
+
+    def test_sparse_mappings_need_more_tables(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1))
+        before = table.table_bytes
+        table.map(PTE(vpn=1 << 30, ppn=2))  # different PML4 subtree
+        assert table.table_bytes == before + 3 * 4096
+
+    def test_entry_paddrs_distinct_per_index(self):
+        table = make_table()
+        table.map(PTE(vpn=0, ppn=1))
+        table.map(PTE(vpn=1, ppn=2))
+        a1 = table.walk(0).accesses[-1].paddr
+        a2 = table.walk(1).accesses[-1].paddr
+        assert a2 == a1 + 8

@@ -1,0 +1,122 @@
+"""Tests for ASLR rebasing (paper section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rebase import (
+    AddressSpaceRebaser,
+    IdentityRebaser,
+    cluster_regions,
+)
+
+
+class TestIdentity:
+    def test_noop(self):
+        r = IdentityRebaser()
+        assert r.rebase(12345) == 12345
+        assert r.in_headroom(1 << 40)
+
+
+class TestRebaser:
+    def test_equal_slots(self):
+        r = AddressSpaceRebaser([(1000, 100), (1 << 30, 5000)])
+        assert r.regions[0].compact_base == 0
+        assert r.regions[1].compact_base == r.slot_pages
+        # Slot is a power of two covering the widest region + headroom.
+        assert r.slot_pages & (r.slot_pages - 1) == 0
+        assert r.slot_pages >= 5000 + AddressSpaceRebaser.DEFAULT_HEADROOM
+
+    def test_rebase_within_region(self):
+        r = AddressSpaceRebaser([(1000, 100), (1 << 30, 5000)])
+        assert r.rebase(1000) == 0
+        assert r.rebase(1050) == 50
+        assert r.rebase((1 << 30) + 7) == r.slot_pages + 7
+
+    def test_monotone_everywhere(self):
+        r = AddressSpaceRebaser([(1000, 100), (1 << 30, 5000), (1 << 40, 10)])
+        samples = [
+            0, 999, 1000, 1099, 5000, (1 << 30) - 1, 1 << 30,
+            (1 << 30) + 4999, (1 << 35), 1 << 40, (1 << 40) + 9, 1 << 45,
+        ]
+        rebased = [r.rebase(v) for v in samples]
+        assert rebased == sorted(rebased)
+
+    def test_headroom_detection(self):
+        r = AddressSpaceRebaser([(1000, 100)])
+        assert r.in_headroom(1000)
+        assert r.in_headroom(1000 + 100 + 1000)  # within headroom
+        assert not r.in_headroom(1000 + r.slot_pages)  # past the slot
+        assert not r.in_headroom(0)  # below every region
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            AddressSpaceRebaser([(100, 50), (10, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AddressSpaceRebaser([])
+
+    def test_register_file(self):
+        r = AddressSpaceRebaser([(1000, 100), (1 << 30, 200)])
+        regs = r.register_file()
+        assert regs == [(1000, 0), (1 << 30, r.slot_pages)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 35),
+                st.integers(min_value=1, max_value=1 << 20),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_monotonicity_property(self, raw_regions):
+        raw_regions.sort()
+        regions = []
+        prev_end = -1
+        for start, span in raw_regions:
+            if start <= prev_end:
+                continue
+            regions.append((start, span))
+            prev_end = start + span - 1
+        if not regions:
+            return
+        r = AddressSpaceRebaser(regions)
+        probe = []
+        for start, span in regions:
+            probe += [start - 1, start, start + span - 1, start + span + 7]
+        probe.sort()
+        rebased = [r.rebase(max(0, v)) for v in probe]
+        assert rebased == sorted(rebased)
+
+
+class TestClusterRegions:
+    def test_single_run(self):
+        regions = cluster_regions([10, 11, 12], [1, 1, 1])
+        assert regions == [(10, 3)]
+
+    def test_splits_on_large_gap(self):
+        vpns = [0, 1, 1 << 20, (1 << 20) + 1]
+        regions = cluster_regions(vpns, [1, 1, 1, 1])
+        assert len(regions) == 2
+        assert regions[0] == (0, 2)
+
+    def test_small_gaps_kept_together(self):
+        vpns = [0, 10, 30]
+        regions = cluster_regions(vpns, [1, 1, 1], gap_threshold=256)
+        assert len(regions) == 1
+
+    def test_caps_region_count(self):
+        vpns = [i << 25 for i in range(20)]
+        regions = cluster_regions(vpns, [1] * 20, max_regions=8)
+        assert len(regions) == 8
+
+    def test_huge_page_spans_counted(self):
+        # Two huge pages back to back: no gap despite vpn distance.
+        regions = cluster_regions([0, 512], [512, 512], gap_threshold=256)
+        assert regions == [(0, 1024)]
+
+    def test_empty(self):
+        assert cluster_regions([], []) == []

@@ -1,0 +1,146 @@
+"""Tests for the simulator, runner, results, and multicore layers."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim import (
+    SCHEMES,
+    ResultSet,
+    SimConfig,
+    SimResult,
+    Simulator,
+    geomean,
+    mean,
+    run_suite,
+    table1_rows,
+)
+from repro.sim.multicore import MultiTenantSimulator, MultiThreadedSimulator
+from repro.workloads import build_workload
+
+REFS = 4000
+
+
+@pytest.fixture(scope="module")
+def gups():
+    return build_workload("gups")
+
+
+class TestSimulator:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_schemes_run(self, gups, scheme):
+        result = Simulator(scheme, gups, SimConfig(num_refs=REFS)).run()
+        assert result.refs == REFS
+        assert result.cycles > 0
+        assert result.walks > 0
+        assert result.walk_traffic >= result.walks * 0 + 1
+
+    def test_extended_schemes_run(self, gups):
+        for scheme in ("fpt", "asap", "midgard"):
+            result = Simulator(scheme, gups, SimConfig(num_refs=REFS)).run()
+            assert result.cycles > 0
+
+    def test_thp_reduces_walks(self, gups):
+        four_k = Simulator("radix", gups, SimConfig(num_refs=REFS)).run()
+        thp = Simulator(
+            "radix", gups, SimConfig(num_refs=REFS, thp=True)
+        ).run()
+        assert thp.walks < four_k.walks
+
+    def test_lvm_traffic_below_radix(self, gups):
+        radix = Simulator("radix", gups, SimConfig(num_refs=REFS)).run()
+        lvm = Simulator("lvm", gups, SimConfig(num_refs=REFS)).run()
+        assert lvm.walk_traffic < radix.walk_traffic
+        assert lvm.index_size_bytes > 0
+        assert lvm.walk_cache_hit_rate > 0.9
+
+    def test_ecpt_traffic_above_radix(self, gups):
+        radix = Simulator("radix", gups, SimConfig(num_refs=REFS)).run()
+        ecpt = Simulator("ecpt", gups, SimConfig(num_refs=REFS)).run()
+        assert ecpt.walk_traffic > radix.walk_traffic
+
+    def test_deterministic(self, gups):
+        a = Simulator("lvm", gups, SimConfig(num_refs=REFS)).run()
+        b = Simulator("lvm", gups, SimConfig(num_refs=REFS)).run()
+        assert a.cycles == b.cycles
+        assert a.walk_traffic == b.walk_traffic
+
+    def test_unknown_scheme_rejected(self, gups):
+        with pytest.raises(ValueError):
+            Simulator("nope", gups, SimConfig(num_refs=REFS))
+
+    def test_config_clone(self):
+        cfg = SimConfig(num_refs=REFS)
+        thp = cfg.clone(thp=True)
+        assert thp.thp and not cfg.thp
+        with pytest.raises(AttributeError):
+            cfg.clone(bogus=1)
+
+    def test_table1_renders(self):
+        rows = table1_rows()
+        assert any("LVM" in name for name, _ in rows)
+
+
+class TestResultSet:
+    def make(self):
+        rs = ResultSet()
+        for scheme, cycles, mmu, traffic in (
+            ("radix", 100.0, 50, 10), ("lvm", 80.0, 30, 5),
+        ):
+            rs.add(SimResult(
+                workload="w", scheme=scheme, thp=False, refs=1,
+                instructions=1, cycles=cycles, mmu_cycles=mmu,
+                walk_traffic=traffic, l2_mpki=2.0, l3_mpki=1.0,
+            ))
+        return rs
+
+    def test_speedup(self):
+        rs = self.make()
+        assert rs.speedup("w", "lvm", False) == pytest.approx(1.25)
+
+    def test_relative_metrics(self):
+        rs = self.make()
+        assert rs.mmu_overhead_relative("w", "lvm", False) == pytest.approx(0.6)
+        assert rs.walk_traffic_relative("w", "lvm", False) == pytest.approx(0.5)
+        assert rs.mpki_relative("w", "lvm", False, "l2") == pytest.approx(1.0)
+
+    def test_missing_run_raises(self):
+        rs = self.make()
+        with pytest.raises(KeyError):
+            rs.get("w", "ideal", False)
+
+    def test_aggregates(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert mean([1.0, 3.0]) == 2.0
+        assert geomean([]) == 0.0
+
+
+class TestRunner:
+    def test_small_suite(self):
+        rs = run_suite(
+            workload_names=["gups"],
+            schemes=("radix", "lvm"),
+            page_modes=(False,),
+            config=SimConfig(num_refs=2000),
+        )
+        assert len(rs.results) == 2
+        assert rs.speedup("gups", "lvm", False) > 0
+
+
+class TestMulticore:
+    def test_multitenant_runs(self, gups):
+        bfs = build_workload("dc")
+        sims = MultiTenantSimulator(
+            "lvm", [gups, bfs], SimConfig(num_refs=2000)
+        )
+        results = sims.run()
+        assert len(results) == 2
+        assert all(r.cycles > 0 for r in results)
+
+    def test_multithreaded_runs(self, gups):
+        sim = MultiThreadedSimulator(
+            "lvm", gups, num_threads=4, config=SimConfig(num_refs=2000)
+        )
+        out = sim.run()
+        assert out["max_thread_cycles"] > 0
+        assert 0.0 <= out["lock_conflict_rate"] <= 1.0

@@ -1,0 +1,49 @@
+"""Tests for spline-point estimation (cost-model seed)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.spline import num_segments, spline_points
+
+
+class TestSplinePoints:
+    def test_empty(self):
+        assert spline_points([]) == []
+
+    def test_single(self):
+        assert spline_points([5]) == [0]
+
+    def test_pair(self):
+        assert spline_points([5, 10]) == [0, 1]
+
+    def test_straight_line_one_segment(self):
+        keys = list(range(0, 10_000, 3))
+        assert num_segments(keys) == 1
+
+    def test_two_dense_segments_with_gap(self):
+        keys = list(range(1000)) + list(range(10 ** 7, 10 ** 7 + 1000))
+        assert num_segments(keys, max_error=8) >= 2
+
+    def test_knots_start_and_end(self):
+        keys = list(range(500))
+        pts = spline_points(keys)
+        assert pts[0] == 0
+        assert pts[-1] == len(keys) - 1
+
+    def test_more_error_fewer_segments(self):
+        keys = list(range(500)) + list(range(2000, 2500)) + list(range(9000, 9500))
+        loose = num_segments(keys, max_error=1000)
+        tight = num_segments(keys, max_error=4)
+        assert loose <= tight
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 30),
+            min_size=3,
+            max_size=200,
+            unique=True,
+        )
+    )
+    def test_segments_bounded_by_keys_property(self, keys):
+        keys.sort()
+        segs = num_segments(keys, max_error=16)
+        assert 1 <= segs <= len(keys)

@@ -1,0 +1,82 @@
+"""Tests for trace persistence and index compaction/reclaim."""
+
+import numpy as np
+import pytest
+
+from repro.core import LearnedIndex
+from repro.kernel import LVMManager
+from repro.mem import BumpAllocator
+from repro.types import PTE
+from repro.workloads import (
+    TraceMismatch,
+    build_workload,
+    load_trace,
+    save_trace,
+)
+
+
+class TestTraceFile:
+    def test_roundtrip(self, tmp_path):
+        workload = build_workload("gups")
+        path = tmp_path / "gups.npz"
+        header = save_trace(path, workload, 4000, seed=9)
+        addresses, loaded = load_trace(path)
+        assert loaded == header
+        assert len(addresses) == 4000
+        # Identical to a fresh generation with the same seed.
+        assert np.array_equal(addresses, workload.trace(4000, 9))
+
+    def test_workload_validation(self, tmp_path):
+        workload = build_workload("gups")
+        path = tmp_path / "t.npz"
+        save_trace(path, workload, 1000)
+        load_trace(path, expect_workload="gups")
+        with pytest.raises(TraceMismatch):
+            load_trace(path, expect_workload="mem$")
+
+    def test_header_carries_instruction_rate(self, tmp_path):
+        workload = build_workload("mem$")
+        path = tmp_path / "m.npz"
+        header = save_trace(path, workload, 500)
+        assert header.instructions_per_ref == workload.info.instructions_per_ref
+
+
+class TestReclaim:
+    def test_compact_reclaims_after_mass_free(self):
+        index = LearnedIndex(BumpAllocator())
+        index.bulk_build([PTE(vpn=v, ppn=v) for v in range(40_000)])
+        peak = index.table_bytes
+        for v in range(10_000, 40_000):
+            index.remove(v)
+        # Section 5.2: frees keep the space...
+        assert index.table_bytes == peak
+        # ...until the OS decides to rebuild and reclaim (section 7.3).
+        reclaimed = index.compact()
+        assert reclaimed > 0.5 * peak
+        assert index.lookup(5_000).hit
+        assert not index.lookup(20_000).hit
+
+    def test_compact_counts_as_rebuild(self):
+        index = LearnedIndex(BumpAllocator())
+        index.bulk_build([PTE(vpn=v, ppn=v) for v in range(1000)])
+        rebuilds = index.stats.full_rebuilds
+        index.compact()
+        assert index.stats.full_rebuilds == rebuilds + 1
+        assert index.stats.lwc_flushes >= 1
+
+    def test_manager_reclaim(self):
+        manager = LVMManager(BumpAllocator())
+        manager.begin_batch()
+        for v in range(20_000):
+            manager.map(PTE(vpn=v, ppn=v))
+        manager.end_batch()
+        for v in range(5_000, 20_000):
+            manager.unmap(v)
+        freed = manager.reclaim()
+        assert freed > 0
+        assert manager.find(100) is not None
+
+    def test_compact_on_empty_index(self):
+        index = LearnedIndex(BumpAllocator())
+        index.bulk_build([])
+        assert index.compact() == 0

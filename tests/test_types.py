@@ -1,0 +1,99 @@
+"""Tests for the shared address/page-size/PTE types."""
+
+import pytest
+
+from repro.types import (
+    PTE,
+    AccessKind,
+    PageSize,
+    Permission,
+    WalkAccess,
+    WalkResult,
+    align_down,
+    align_up,
+    va_of,
+    vpn_of,
+)
+
+
+class TestPageSize:
+    def test_values_are_bytes(self):
+        assert PageSize.SIZE_4K == 4096
+        assert PageSize.SIZE_2M == 2 * 1024 * 1024
+        assert PageSize.SIZE_1G == 1 << 30
+
+    def test_shift(self):
+        assert PageSize.SIZE_4K.shift == 12
+        assert PageSize.SIZE_2M.shift == 21
+        assert PageSize.SIZE_1G.shift == 30
+
+    def test_pages_4k(self):
+        assert PageSize.SIZE_4K.pages_4k == 1
+        assert PageSize.SIZE_2M.pages_4k == 512
+        assert PageSize.SIZE_1G.pages_4k == 512 * 512
+
+    def test_encode_decode_roundtrip(self):
+        for size in PageSize:
+            assert PageSize.decode(size.encode()) is size
+
+    def test_encoding_fits_two_bits(self):
+        for size in PageSize:
+            assert 0 <= size.encode() < 4
+
+
+class TestVPNHelpers:
+    def test_vpn_of(self):
+        assert vpn_of(0) == 0
+        assert vpn_of(4095) == 0
+        assert vpn_of(4096) == 1
+        assert vpn_of(0xDEAD_BEEF_000) == 0xDEAD_BEEF_000 >> 12
+
+    def test_va_of_inverts_vpn_of(self):
+        for vpn in (0, 1, 12345, 1 << 35):
+            assert vpn_of(va_of(vpn)) == vpn
+
+    def test_align(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+
+
+class TestPTE:
+    def test_covers_4k(self):
+        pte = PTE(vpn=100, ppn=5)
+        assert pte.covers(100)
+        assert not pte.covers(101)
+        assert not pte.covers(99)
+
+    def test_covers_2m(self):
+        pte = PTE(vpn=1024, ppn=5, page_size=PageSize.SIZE_2M)
+        assert pte.covers(1024)
+        assert pte.covers(1024 + 511)
+        assert not pte.covers(1024 + 512)
+        assert not pte.covers(1023)
+
+    def test_translate_4k(self):
+        pte = PTE(vpn=100, ppn=7)
+        va = (100 << 12) + 0x123
+        assert pte.translate(va) == (7 << 12) + 0x123
+
+    def test_translate_2m_interior(self):
+        pte = PTE(vpn=1024, ppn=4096, page_size=PageSize.SIZE_2M)
+        va = (1024 + 37) << 12
+        expected = 4096 * 4096 + 37 * 4096
+        assert pte.translate(va) == expected
+
+    def test_default_flags(self):
+        pte = PTE(vpn=0, ppn=0)
+        assert pte.present and not pte.accessed and not pte.dirty
+        assert pte.perms == Permission.RW
+
+
+class TestWalkResult:
+    def test_hit_and_miss(self):
+        assert WalkResult(PTE(vpn=0, ppn=0), []).hit
+        assert not WalkResult(None, []).hit
+
+    def test_num_accesses(self):
+        accesses = [WalkAccess(0x1000, AccessKind.PT_NODE, level=4)]
+        assert WalkResult(None, accesses).num_accesses == 1

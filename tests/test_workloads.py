@@ -1,0 +1,156 @@
+"""Tests for workload builders and trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GRAPH_KERNELS,
+    JEMALLOC,
+    PRODUCTION_WORKLOADS,
+    SUITE,
+    TCMALLOC,
+    WORKLOADS,
+    build_workload,
+    kronecker_graph,
+    zipf_ranks,
+)
+from repro.workloads.layout import ArrayRef, HeapLayout, PagePool
+
+
+def trace_in_bounds(workload, trace):
+    vpns = np.unique(trace >> 12)
+    intervals = sorted((v.start_vpn, v.end_vpn) for v in workload.vmas)
+    starts = np.array([a for a, _ in intervals])
+    ends = np.array([b for _, b in intervals])
+    idx = np.searchsorted(starts, vpns, side="right") - 1
+    return bool(np.all((idx >= 0) & (vpns < ends[np.clip(idx, 0, None)])))
+
+
+class TestSuite:
+    def test_nine_workloads(self):
+        assert len(SUITE) == 9
+        assert set(GRAPH_KERNELS) < set(SUITE)
+        assert {"gups", "mem$", "MUMr"} < set(SUITE)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("nope")
+
+    @pytest.mark.parametrize("name", ["gups", "mem$", "MUMr", "dc", "prod1"])
+    def test_traces_stay_in_mapped_space(self, name):
+        workload = build_workload(name)
+        trace = workload.trace(20_000, seed=3)
+        assert len(trace) == 20_000
+        assert trace_in_bounds(workload, trace)
+
+    def test_traces_deterministic_by_seed(self):
+        w = build_workload("gups")
+        a = w.trace(1000, seed=5)
+        b = w.trace(1000, seed=5)
+        c = w.trace(1000, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_footprints_scale(self):
+        small = build_workload("gups", scale=128)
+        large = build_workload("gups", scale=32)
+        assert large.space.total_pages > 2 * small.space.total_pages
+
+    def test_gap_coverage_in_paper_band(self):
+        coverages = {}
+        for name in ("bfs", "gups", "mem$", "MUMr"):
+            coverages[name] = build_workload(name).space.gap_coverage()
+        # Paper Figure 2: minimum ~78%, most workloads much higher.
+        assert all(c >= 0.75 for c in coverages.values())
+        assert coverages["MUMr"] == min(coverages.values())
+        assert coverages["gups"] > 0.99
+
+    def test_allocators_practically_identical(self):
+        a = build_workload("MUMr", allocator=JEMALLOC).space.gap_coverage()
+        b = build_workload("MUMr", allocator=TCMALLOC).space.gap_coverage()
+        assert abs(a - b) < 0.02
+
+    def test_production_workloads_exist(self):
+        for name in PRODUCTION_WORKLOADS:
+            built = build_workload(name)
+            assert built.space.gap_coverage() > 0.7
+
+    def test_footprint_override(self):
+        small = build_workload("mem$", footprint_override=8 << 30)
+        default = build_workload("mem$")
+        assert small.space.total_pages < default.space.total_pages
+
+
+class TestKronecker:
+    def test_csr_well_formed(self):
+        g = kronecker_graph(10, edge_factor=4, seed=1)
+        assert g.num_vertices == 1024
+        assert g.offsets[0] == 0
+        assert g.offsets[-1] == g.num_edges
+        assert np.all(np.diff(g.offsets) >= 0)
+        assert g.edges.max() < g.num_vertices
+
+    def test_symmetric(self):
+        g = kronecker_graph(8, edge_factor=4, seed=2)
+        # Undirected: total degree is even and edges come in pairs.
+        assert g.num_edges % 2 == 0
+
+    def test_no_self_loops(self):
+        g = kronecker_graph(8, edge_factor=4, seed=3)
+        for v in range(g.num_vertices):
+            assert v not in g.neighbors(v)
+
+    def test_scramble_breaks_degree_id_correlation(self):
+        raw = kronecker_graph(10, edge_factor=8, seed=4, scramble=False)
+        mixed = kronecker_graph(10, edge_factor=8, seed=4, scramble=True)
+        degrees_raw = np.diff(raw.offsets)
+        degrees_mixed = np.diff(mixed.offsets)
+        n = raw.num_vertices
+        low_raw = degrees_raw[: n // 8].sum() / max(1, degrees_raw.sum())
+        low_mixed = degrees_mixed[: n // 8].sum() / max(1, degrees_mixed.sum())
+        # Raw RMAT concentrates edges on low ids; scrambled does not.
+        assert low_raw > 2 * low_mixed
+
+
+class TestGraphTraces:
+    @pytest.mark.parametrize("kernel", GRAPH_KERNELS)
+    def test_kernel_traces(self, kernel):
+        workload = build_workload(kernel)
+        trace = workload.trace(5000, seed=1)
+        assert len(trace) == 5000
+        assert trace_in_bounds(workload, trace)
+
+    def test_random_kernels_touch_many_pages(self):
+        workload = build_workload("bfs")
+        trace = workload.trace(30_000, seed=1)
+        assert len(np.unique(trace >> 12)) > 3000
+
+
+class TestLayoutHelpers:
+    def test_heap_layout_sequential(self):
+        heap = HeapLayout(base_vpn=100)
+        a = heap.add_array("a", 1000, 8)
+        b = heap.add_array("b", 1000, 8)
+        assert a.base_va == 100 << 12
+        assert b.base_va > a.base_va + a.nbytes - 1
+        assert b.base_va % 4096 == 0
+
+    def test_array_ref_va(self):
+        ref = ArrayRef("x", 0x10000, 800, 8)
+        assert ref.va_of(0) == 0x10000
+        assert ref.va_of(10) == 0x10000 + 80
+        assert ref.num_elements == 100
+
+    def test_page_pool(self):
+        pool = PagePool([5, 9, 100], stride=64)
+        assert pool.num_elements == 3 * 64
+        assert pool.va_of(0) == 5 << 12
+        assert pool.va_of(64) == 9 << 12
+        assert pool.va_of(65) == (9 << 12) + 64
+
+    def test_zipf_skew(self):
+        rng = np.random.default_rng(0)
+        ranks = zipf_ranks(10_000, 0.99, 50_000, rng)
+        top = (ranks < 100).mean()
+        assert top > 0.2  # heavy head
+        assert ranks.max() < 10_000

@@ -3,16 +3,34 @@
 PYTHON ?= python
 REFS ?= 20000
 
-.PHONY: install test bench figures quicktest clean loc
+.PHONY: install test bench figures quicktest lint chaos clean loc
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# Default test run; includes the fault-injection chaos harness
+# (tests/test_faults_*.py) alongside the functional suite.
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 quicktest:
-	$(PYTHON) -m pytest tests/ -q -x -k "not Stateful and not property"
+	$(PYTHON) -m pytest tests/ -q -x -k "not Stateful and not property and not chaos"
+
+# Static checks.  ruff is optional tooling (config in pyproject.toml);
+# skip with a notice when it is not installed rather than failing.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+# Fault-injection sweep: the chaos harness plus the CLI chaos report.
+chaos:
+	$(PYTHON) -m pytest tests/test_faults_unit.py tests/test_faults_chaos.py -q
+	$(PYTHON) -m repro chaos --refs $(REFS) --fault-rate 1e-3
 
 bench:
 	REPRO_REFS=$(REFS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

@@ -32,6 +32,43 @@ def bench_workloads():
     return list(SUITE)
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every figure/table regeneration is a slow benchmark; give each a
+    wall-clock safety net (see ``tests/conftest.py`` for the SIGALRM
+    fallback used when pytest-timeout is absent)."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(3600))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    import signal
+
+    marker = item.get_closest_marker("timeout")
+    limit = marker.args[0] if marker and marker.args else None
+    use_alarm = (
+        limit is not None
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _expire(signum, frame):
+        pytest.fail(f"benchmark exceeded the {limit}s timeout", pytrace=False)
+
+    old_handler = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, float(limit))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
 @pytest.fixture(scope="session")
 def suite_results():
     """The full sweep behind Figures 9-12: all schemes, 4 KB and THP."""

@@ -23,6 +23,8 @@ Public API tour:
 """
 
 from repro.core import LearnedIndex, LVMConfig
+from repro.errors import ConfigError, CorruptionError, ReproError, TranslationError
+from repro.faults import FaultKind, FaultPlan
 from repro.kernel import LVMManager
 from repro.sim import SimConfig, Simulator, run_suite
 from repro.types import PTE, PageSize
@@ -31,13 +33,19 @@ from repro.workloads import build_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConfigError",
+    "CorruptionError",
+    "FaultKind",
+    "FaultPlan",
     "LVMConfig",
     "LVMManager",
     "LearnedIndex",
     "PTE",
     "PageSize",
+    "ReproError",
     "SimConfig",
     "Simulator",
+    "TranslationError",
     "build_workload",
     "run_suite",
     "__version__",

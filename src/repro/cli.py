@@ -12,6 +12,12 @@ Usage (also via ``python -m repro``):
     python -m repro scaling              # 7.3 memcached scaling
     python -m repro hardware             # 7.4 area/power
     python -m repro suite --refs 30000   # the full sweep, all metrics
+    python -m repro chaos --refs 20000   # fault injection + recovery
+
+Typed failures map to exit codes: 2 for configuration errors, 3 for
+any other simulator error, 130 on interrupt.  ``--fail-fast`` makes
+sweep commands abort on the first failing run instead of collecting
+failures and finishing the remaining combinations.
 """
 
 from __future__ import annotations
@@ -29,16 +35,33 @@ from repro.analysis import (
     run_fleet_study,
     scaling_study,
 )
+from repro.errors import ConfigError, ReproError
+from repro.faults import FaultKind, FaultPlan
 from repro.sim import SimConfig, mean, run_suite, table1_rows
 from repro.workloads import SUITE
 
 
+def _report_failures(results) -> None:
+    for f in results.failures:
+        print(
+            f"repro: run failed: {f.workload}/{f.scheme}/thp={int(f.thp)}: "
+            f"{f.error}: {f.message}",
+            file=sys.stderr,
+        )
+
+
 def _suite_results(args):
     config = SimConfig(num_refs=args.refs)
+    config.validate()  # reject bad --refs etc. before the sweep starts
     names = args.workloads.split(",") if args.workloads else None
     print(f"running sweep: {names or SUITE} x (radix, ecpt, lvm, ideal) "
           f"x (4KB, THP), {args.refs} refs each...", file=sys.stderr)
-    return run_suite(workload_names=names, config=config, verbose=args.verbose)
+    results = run_suite(
+        workload_names=names, config=config, verbose=args.verbose,
+        on_error="raise" if args.fail_fast else "collect",
+    )
+    _report_failures(results)
+    return results
 
 
 def cmd_fig2(args) -> None:
@@ -189,7 +212,46 @@ def cmd_suite(args) -> None:
     _relative_tables(results, "walk_traffic_relative", "Figure 11 — walk traffic")
 
 
+def cmd_chaos(args) -> None:
+    """Inject each fault class into the LVM path; report recovery."""
+    names = args.workloads.split(",") if args.workloads else ["gups", "bfs"]
+    print(
+        f"running chaos sweep: {names} x {[k.value for k in FaultKind]} "
+        f"at rate {args.fault_rate}, {args.refs} refs each...",
+        file=sys.stderr,
+    )
+    rows = []
+    for kind in FaultKind:
+        plan = FaultPlan.single(kind, rate=args.fault_rate, seed=args.fault_seed)
+        config = SimConfig(
+            num_refs=args.refs, faults=plan, verify_translations=True
+        )
+        config.validate()
+        results = run_suite(
+            workload_names=names, schemes=("lvm",), page_modes=(False,),
+            config=config, verbose=args.verbose,
+            on_error="raise" if args.fail_fast else "collect",
+        )
+        _report_failures(results)
+        for r in results.results:
+            rows.append((
+                r.workload, kind.value, r.faults_injected, r.recoveries,
+                r.recovery_cycles, r.poison_detections,
+                r.incorrect_translations,
+            ))
+    print(render_table(
+        ["workload", "fault class", "injected", "recoveries",
+         "recovery cycles", "poison detections", "incorrect"],
+        rows,
+        title=f"Chaos — graceful degradation (rate={args.fault_rate}, "
+              f"seed={args.fault_seed})",
+    ))
+    if any(r[-1] for r in rows):
+        raise ReproError("chaos run produced incorrect translations")
+
+
 COMMANDS = {
+    "chaos": cmd_chaos,
     "fig2": cmd_fig2,
     "fig3": cmd_fig3,
     "fig9": cmd_fig9,
@@ -221,13 +283,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", default=None,
         help="comma-separated workload subset (default: the full suite)",
     )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort sweep commands on the first failing run instead of "
+             "collecting failures and finishing the sweep",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=1e-3,
+        help="per-opportunity fault rate for the chaos command (default 1e-3)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault-injection seed for the chaos command (default 0)",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command](args)
+    try:
+        COMMANDS[args.command](args)
+    except ConfigError as exc:
+        print(f"repro: configuration error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     return 0
 
 

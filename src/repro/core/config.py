@@ -90,11 +90,48 @@ class LVMConfig:
         return self.coverage_per_byte[-1]
 
     def validate(self) -> None:
+        # ConfigError subclasses ValueError, so callers that handled
+        # ValueError keep working.
+        from repro.core.fixed_point import MAX_INT
+        from repro.errors import ConfigError
+        from repro.types import BASE_PAGE_SIZE
+
         if self.d_limit < 1:
-            raise ValueError("d_limit must be at least 1")
+            raise ConfigError("d_limit must be at least 1")
         if self.ga_scale < 1.0:
-            raise ValueError("ga_scale must be >= 1.0 to leave gaps")
+            raise ConfigError("ga_scale must be >= 1.0 to leave gaps")
         if self.c_err < 1:
-            raise ValueError("c_err must be at least 1")
+            raise ConfigError("c_err must be at least 1")
         if self.max_children < 2:
-            raise ValueError("max_children must allow branching")
+            raise ConfigError("max_children must allow branching")
+        for name in ("x1", "x2", "x3"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"cost-model weight {name} cannot be negative")
+        if self.slots_per_line < 1 or 64 % (self.slots_per_line or 1) != 0:
+            raise ConfigError(
+                f"slots_per_line={self.slots_per_line!r} must be a positive "
+                "divisor of the 64 B cache line"
+            )
+        if self.min_insert_distance_bytes < BASE_PAGE_SIZE:
+            raise ConfigError(
+                "min_insert_distance_bytes="
+                f"{self.min_insert_distance_bytes!r} must cover at least "
+                f"one base page ({BASE_PAGE_SIZE} bytes)"
+            )
+        # Q44.20 contract: model outputs are slot indexes in Q44.20,
+        # so every error/search bound must stay far inside the 44-bit
+        # integer range or slope arithmetic saturates mid-leaf.
+        if not (0 < self.spline_max_error <= MAX_INT):
+            raise ConfigError(
+                f"spline_max_error={self.spline_max_error!r} violates the "
+                f"Q44.20 contract (must be in [1, {MAX_INT}])"
+            )
+        if self.max_leaf_error_slots > MAX_INT:
+            raise ConfigError(
+                "c_err x slots_per_line produces an error bound beyond the "
+                "Q44.20 integer range"
+            )
+        if not self.coverage_per_byte:
+            raise ConfigError("coverage_per_byte needs at least one floor")
+        if any(floor <= 0 for floor in self.coverage_per_byte):
+            raise ConfigError("coverage_per_byte floors must be positive")

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
+
 FRACTION_BITS = 20
 INTEGER_BITS = 44
 TOTAL_BITS = INTEGER_BITS + FRACTION_BITS
@@ -19,8 +21,20 @@ SCALE = 1 << FRACTION_BITS
 _MAX_RAW = (1 << (TOTAL_BITS - 1)) - 1
 _MIN_RAW = -(1 << (TOTAL_BITS - 1))
 
+#: Raw-value bounds of the Q44.20 format (public, for validation).
+MAX_RAW = _MAX_RAW
+MIN_RAW = _MIN_RAW
 
-class FixedPointOverflow(ArithmeticError):
+#: Largest / smallest *integer* exactly representable in Q44.20.
+MAX_INT = _MAX_RAW >> FRACTION_BITS
+MIN_INT = -(1 << (INTEGER_BITS - 1))
+
+#: Float bounds of the format (for configuration validation).
+MAX_VALUE = _MAX_RAW / SCALE
+MIN_VALUE = _MIN_RAW / SCALE
+
+
+class FixedPointOverflow(ReproError, ArithmeticError):
     """A value does not fit in the Q44.20 format."""
 
 
@@ -113,6 +127,31 @@ def linear_predict(slope_raw: int, intercept_raw: int, x: int) -> int:
 def quantize(value: float) -> int:
     """Round a float model parameter to its Q44.20 raw representation."""
     return _check(int(round(value * SCALE)))
+
+
+def saturate_raw(raw: int) -> int:
+    """Clamp a raw value into the Q44.20 range (hardware saturation)."""
+    if raw > _MAX_RAW:
+        return _MAX_RAW
+    if raw < _MIN_RAW:
+        return _MIN_RAW
+    return raw
+
+
+def quantize_saturating(value: float) -> int:
+    """Like :func:`quantize`, but saturating instead of raising.
+
+    This is what a saturating fixed-point datapath does on overflow:
+    the value pegs at the format's limit.  Used where an out-of-range
+    parameter must degrade gracefully rather than abort (e.g. repairing
+    a perturbed model during fault recovery).
+    """
+    return saturate_raw(int(round(value * SCALE)))
+
+
+def from_float_saturating(value: float) -> "FixedPoint":
+    """Saturating constructor companion of :meth:`FixedPoint.from_float`."""
+    return FixedPoint(quantize_saturating(value))
 
 
 MODEL_BYTES = 16

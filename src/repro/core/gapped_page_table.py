@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.types import PTE, CACHE_LINE_SIZE, PTE_SIZE
 
 SLOTS_PER_LINE = CACHE_LINE_SIZE // PTE_SIZE
 
 
-class GPTFullError(Exception):
+class GPTFullError(ReproError):
     """No free slot exists within the allowed displacement bound."""
 
 
@@ -35,11 +36,16 @@ class GPTLookup:
     search touched, in probe order: the first is the predicted line (the
     single access of a collision-free translation), the rest are the
     additional accesses of collision resolution.
+
+    ``corrupt_seen`` is True when any probed entry failed its integrity
+    check — the walker's cue to engage the degradation ladder even if a
+    (seemingly) matching entry was found.
     """
 
     pte: Optional[PTE]
     slot: int
     line_paddrs: List[int]
+    corrupt_seen: bool = False
 
     @property
     def hit(self) -> bool:
@@ -184,6 +190,7 @@ class GappedPageTable:
         center = self._clamp(predicted)
         seen = set()
         line_paddrs: List[int] = []
+        corrupt = [False]
 
         def probe(slot: int) -> Optional[PTE]:
             line = self.line_of(slot)
@@ -191,22 +198,28 @@ class GappedPageTable:
                 seen.add(line)
                 line_paddrs.append(line * CACHE_LINE_SIZE)
             entry = self._slots[slot]
-            if entry is not None and entry.covers(query_vpn):
+            if entry is None:
+                return None
+            if not entry.is_intact():
+                # Parity failure: never trust the entry, flag the walk.
+                corrupt[0] = True
+                return None
+            if entry.covers(query_vpn):
                 return entry
             return None
 
         found = probe(center)
         if found is not None:
-            return GPTLookup(found, center, line_paddrs)
+            return GPTLookup(found, center, line_paddrs, corrupt[0])
         step = 1
         while step <= window:
             for slot in (center + step, center - step):
                 if 0 <= slot < self.num_slots:
                     found = probe(slot)
                     if found is not None:
-                        return GPTLookup(found, slot, line_paddrs)
+                        return GPTLookup(found, slot, line_paddrs, corrupt[0])
             step += 1
-        return GPTLookup(None, -1, line_paddrs)
+        return GPTLookup(None, -1, line_paddrs, corrupt[0])
 
     def lookup_sorted(self, predicted: int, query_vpn: int, window: int) -> GPTLookup:
         """Bounded *binary* search for the entry covering ``query_vpn``.
@@ -220,6 +233,7 @@ class GappedPageTable:
         hi = min(self.num_slots - 1, predicted + window)
         seen = set()
         line_paddrs: List[int] = []
+        corrupt = [False]
 
         def touch(slot: int):
             line = self.line_of(slot)
@@ -228,11 +242,19 @@ class GappedPageTable:
                 line_paddrs.append(line * CACHE_LINE_SIZE)
 
         def entry_at_or_left(slot: int):
-            """Nearest occupied slot at or left of ``slot`` within lo."""
+            """Nearest trustworthy occupied slot at or left of ``slot``.
+
+            Corrupt entries cannot steer the binary search (a flipped
+            vpn breaks the key order it relies on); they are flagged
+            and skipped.
+            """
             while slot >= lo:
                 touch(slot)
-                if self._slots[slot] is not None:
-                    return slot
+                entry = self._slots[slot]
+                if entry is not None:
+                    if entry.is_intact():
+                        return slot
+                    corrupt[0] = True
                 slot -= 1
             return None
 
@@ -254,8 +276,8 @@ class GappedPageTable:
         if best is not None:
             entry = self._slots[best]
             if entry.covers(query_vpn):
-                return GPTLookup(entry, best, line_paddrs)
-        return GPTLookup(None, -1, line_paddrs)
+                return GPTLookup(entry, best, line_paddrs, corrupt[0])
+        return GPTLookup(None, -1, line_paddrs, corrupt[0])
 
     def find_slot(self, predicted: int, vpn: int, window: int) -> int:
         """Slot index holding the entry whose first VPN is ``vpn``.
@@ -265,17 +287,65 @@ class GappedPageTable:
         """
         center = self._clamp(predicted)
         entry = self._slots[center]
-        if entry is not None and entry.vpn == vpn:
+        if entry is not None and entry.vpn == vpn and entry.is_intact():
             return center
         step = 1
         while step <= window:
             for slot in (center + step, center - step):
                 if 0 <= slot < self.num_slots:
                     entry = self._slots[slot]
-                    if entry is not None and entry.vpn == vpn:
+                    if entry is not None and entry.vpn == vpn and entry.is_intact():
                         return slot
             step += 1
         raise KeyError(f"vpn {vpn:#x} not present near slot {predicted}")
+
+    def scan(self, query_vpn: int) -> GPTLookup:
+        """Exhaustive scan of the whole table for an *intact* entry
+        covering ``query_vpn`` — the second rung of the degradation
+        ladder, used when the bounded search came up empty or tripped
+        over corruption.
+
+        Touches every cache line of the table (all are reported, so the
+        walker charges the scan's full memory cost).
+        """
+        line_paddrs: List[int] = []
+        seen = set()
+        corrupt = False
+        found: Optional[PTE] = None
+        found_slot = -1
+        for slot, entry in enumerate(self._slots):
+            line = self.line_of(slot)
+            if line not in seen:
+                seen.add(line)
+                line_paddrs.append(line * CACHE_LINE_SIZE)
+            if entry is None:
+                continue
+            if not entry.is_intact():
+                corrupt = True
+                continue
+            if found is None and entry.covers(query_vpn):
+                found = entry
+                found_slot = slot
+        return GPTLookup(found, found_slot, line_paddrs, corrupt)
+
+    def corrupt_slot(self, slot: int, fld: str = "ppn", bit: int = 0) -> None:
+        """Fault-injection hook: replace the entry at ``slot`` with a
+        bit-flipped *copy* whose integrity tag is stale.
+
+        The original PTE object (shared with the OS's authoritative
+        mapping records) is never mutated, so recovery by retraining
+        from the authoritative set restores correctness.
+        """
+        entry = self._slots[slot]
+        if entry is None:
+            raise KeyError(f"slot {slot} is empty; cannot corrupt it")
+        self._slots[slot] = entry.with_bitflip(fld=fld, bit=bit)
+
+    def corrupt_entry_count(self) -> int:
+        """Live entries currently failing their integrity check."""
+        return sum(
+            1 for e in self._slots if e is not None and not e.is_intact()
+        )
 
     def entries(self) -> List[Tuple[int, PTE]]:
         """All (slot, entry) pairs, in slot order."""

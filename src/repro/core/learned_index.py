@@ -37,6 +37,7 @@ from repro.core.nodes import (
     leaf_nodes,
     tree_depth,
 )
+from repro.errors import DuplicateMappingError, RecoveryExhaustedError
 from repro.mem.allocator import BumpAllocator, OutOfPhysicalMemory, PhysicalAllocator
 from repro.types import PTE, PTE_SIZE, TranslationError
 
@@ -54,6 +55,10 @@ class LVMWalk:
     pte: Optional[PTE]
     node_accesses: List[Tuple[int, int, int]]
     pte_line_paddrs: List[int]
+    # True when the degradation ladder had to engage (corruption or a
+    # desynchronized model); the extra lines it touched are included in
+    # ``pte_line_paddrs`` so the walker charges their full cost.
+    recovered: bool = False
 
     @property
     def hit(self) -> bool:
@@ -90,6 +95,24 @@ class LVMStats:
     build_times_s: List[float] = field(default_factory=list)
     retrain_times_s: List[float] = field(default_factory=list)
     management_time_s: float = 0.0
+    # Degradation-ladder counters (fault recovery).  Each rung is also
+    # reflected in the priced counters above (``local_retrains`` /
+    # ``full_rebuilds``) so the cost model charges the repair work.
+    recovered_scans: int = 0
+    recovered_retrains: int = 0
+    recovered_rebuilds: int = 0
+    corrupt_entries_detected: int = 0
+    alloc_retries: int = 0
+    rescale_fallback_rebuilds: int = 0
+
+    @property
+    def recoveries(self) -> int:
+        """Total degradation-ladder engagements."""
+        return (
+            self.recovered_scans
+            + self.recovered_retrains
+            + self.recovered_rebuilds
+        )
 
     @property
     def collision_rate(self) -> float:
@@ -138,7 +161,9 @@ class LearnedIndex:
         self._mappings = {}
         for pte in ptes:
             if pte.vpn in self._mappings:
-                raise TranslationError(f"duplicate mapping for VPN {pte.vpn:#x}")
+                raise DuplicateMappingError(
+                    f"duplicate mapping for VPN {pte.vpn:#x}"
+                )
             self._mappings[pte.vpn] = pte
         self._sorted_vpns = sorted(self._mappings)
         self._rebuild(initial=True)
@@ -354,25 +379,68 @@ class LearnedIndex:
     # Physical layout
     # ------------------------------------------------------------------
     def _alloc_table(self, num_slots: int) -> GappedPageTable:
+        """Allocate a gapped table, retrying with backoff on failure.
+
+        A failed request (genuine fragmentation or an injected buddy
+        fault) is retried at progressively smaller contiguity — LVM
+        only ever *needs* base-page contiguity, so a smaller table
+        costs collisions, never correctness.  The first genuine
+        failure falls back to the largest block that fits (the
+        historical behavior); later failures halve the request down to
+        an 8-slot floor before giving up.
+        """
         nbytes = num_slots * PTE_SIZE
-        try:
-            paddr = self.allocator.alloc(nbytes)
-        except OutOfPhysicalMemory:
-            # Last resort: the cost model should have split enough, but
-            # under extreme pressure fall back to whatever fits.
-            nbytes = max(PTE_SIZE * 8, self.allocator.max_contiguous_bytes())
-            paddr = self.allocator.alloc(nbytes)
-            num_slots = nbytes // PTE_SIZE
+        floor = PTE_SIZE * 8
+        attempts = 0
+        while True:
+            try:
+                paddr = self.allocator.alloc(nbytes)
+                break
+            except OutOfPhysicalMemory:
+                attempts += 1
+                if attempts > 24:
+                    raise
+                self.stats.alloc_retries += 1
+                avail = self.allocator.max_contiguous_bytes()
+                if avail >= nbytes:
+                    # Transient (injected) failure: retry unchanged.
+                    continue
+                if attempts == 1:
+                    nbytes = max(floor, avail)
+                elif nbytes > floor:
+                    nbytes = max(floor, nbytes // 2)
+                else:
+                    raise
+        num_slots = nbytes // PTE_SIZE
         table = GappedPageTable(num_slots, paddr)
         self._table_allocs[id(table)] = (table, paddr, nbytes)
         return table
+
+    def _alloc_with_retry(self, nbytes: int, attempts: int = 8) -> int:
+        """Retry transient (injected) allocation failures.
+
+        Model-level arrays and table growth cannot shrink, so a
+        genuine shortfall — the largest contiguous block is smaller
+        than the request — propagates immediately, exactly as before
+        fault injection existed.
+        """
+        for _ in range(attempts):
+            try:
+                return self.allocator.alloc(nbytes)
+            except OutOfPhysicalMemory:
+                if self.allocator.max_contiguous_bytes() < nbytes:
+                    raise
+                self.stats.alloc_retries += 1
+        raise OutOfPhysicalMemory(
+            f"allocation of {nbytes} bytes kept failing after {attempts} attempts"
+        )
 
     def _allocate_levels(self) -> None:
         self.level_bases = []
         self._level_allocs = []
         for count in self.level_counts:
             nbytes = max(MODEL_BYTES, count * MODEL_BYTES)
-            paddr = self.allocator.alloc(nbytes)
+            paddr = self._alloc_with_retry(nbytes)
             self.level_bases.append(paddr)
             self._level_allocs.append((paddr, nbytes))
 
@@ -393,13 +461,33 @@ class LearnedIndex:
     # ------------------------------------------------------------------
     def lookup(self, vpn: int) -> LVMWalk:
         """Translate a 4 KB VPN; queries inside a large page round down
-        to the large page's entry (section 4.4)."""
+        to the large page's entry (section 4.4).
+
+        When the bounded probe misses or trips an integrity check, the
+        degradation ladder (:meth:`_recover`) takes over: leaf scan →
+        leaf retrain → full rebuild, every extra memory touch reported
+        through the walk so the hardware walker charges it.
+        """
         self.stats.lookups += 1
+        if self.root is None:
+            return LVMWalk(None, [], [])
+        key = self.rebaser.rebase(vpn)
+        leaf, node_accesses = self._route(key)
+        probe = self._leaf_probe(leaf, key, vpn)
+        if probe.pte is None or probe.corrupt_seen:
+            walk = self._recover(leaf, key, vpn, node_accesses, probe)
+        else:
+            walk = LVMWalk(probe.pte, node_accesses, probe.line_paddrs)
+        if walk.hit and walk.collided and not walk.recovered:
+            self.stats.collisions += 1
+            self.stats.extra_pte_accesses += walk.extra_accesses
+        return walk
+
+    def _route(self, key: int) -> Tuple[LeafNode, List[Tuple[int, int, int]]]:
+        """Walk the internal models down to the leaf covering ``key``,
+        recording every node access for the hardware walker."""
         node_accesses: List[Tuple[int, int, int]] = []
         node = self.root
-        if node is None:
-            return LVMWalk(None, node_accesses, [])
-        key = self.rebaser.rebase(vpn)
         while isinstance(node, InternalNode):
             node_accesses.append(
                 (node.depth, node.offset, self.node_paddr(node.depth, node.offset))
@@ -409,41 +497,141 @@ class LearnedIndex:
         node_accesses.append(
             (leaf.depth, leaf.offset, self.node_paddr(leaf.depth, leaf.offset))
         )
+        return leaf, node_accesses
+
+    def _leaf_probe(self, leaf: LeafNode, key: int, vpn: int):
+        """The bounded in-leaf search (first rung of the ladder)."""
         eff_key = key if key >= leaf.lo else leaf.lo
         predicted = leaf.predict_slot(eff_key)
         window = self._leaf_window(leaf)
         if leaf.sorted_layout:
-            result = leaf.table.lookup_sorted(predicted, vpn, window)
-        else:
-            result = leaf.table.lookup(predicted, vpn, window)
-        walk = LVMWalk(result.pte, node_accesses, result.line_paddrs)
-        if walk.hit and walk.collided:
-            self.stats.collisions += 1
-            self.stats.extra_pte_accesses += walk.extra_accesses
-        return walk
+            return leaf.table.lookup_sorted(predicted, vpn, window)
+        return leaf.table.lookup(predicted, vpn, window)
+
+    def _recover(self, leaf: LeafNode, key: int, vpn: int, node_accesses, probe) -> LVMWalk:
+        """Graceful degradation after a failed or corrupt bounded probe.
+
+        Rungs: exhaustive leaf scan → leaf retrain from the
+        authoritative mapping set → full index rebuild.  The ladder
+        engages only on *evidence* of damage — a tripped integrity
+        check, or an authoritative mapping the probe should have found.
+        A plain demand-fault miss returns unchanged, which keeps
+        fault-free runs bit-identical to the no-injector baseline.
+        """
+        auth = self._covering_mapping(vpn)
+        if not probe.corrupt_seen and auth is None:
+            return LVMWalk(None, node_accesses, probe.line_paddrs)
+        line_paddrs = list(probe.line_paddrs)
+        # Rung 2: exhaustive scan of the leaf's table; every line it
+        # touches is charged to this walk.
+        scan = leaf.table.scan(vpn)
+        self.stats.recovered_scans += 1
+        line_paddrs.extend(scan.line_paddrs)
+        self.stats.corrupt_entries_detected += leaf.table.corrupt_entry_count()
+        pte = probe.pte if probe.pte is not None else scan.pte
+        # Rung 3: retrain this leaf from the authoritative mappings,
+        # evicting corrupted copies and refitting the desynchronized
+        # model (priced through the usual local_retrains counter).
+        repaired = self._repair_leaf(leaf)
+        if pte is None and repaired:
+            retry = self._leaf_probe(leaf, key, vpn)
+            line_paddrs.extend(retry.line_paddrs)
+            pte = retry.pte
+        if not repaired or (pte is None and auth is not None):
+            # Rung 4: full rebuild from the authoritative set.
+            self._rebuild()
+            self.stats.recovered_rebuilds += 1
+            if self.root is not None:
+                leaf, extra_nodes = self._route(key)
+                node_accesses = node_accesses + extra_nodes
+                retry = self._leaf_probe(leaf, key, vpn)
+                line_paddrs.extend(retry.line_paddrs)
+                pte = retry.pte
+        if pte is None and auth is not None:
+            raise RecoveryExhaustedError(
+                f"VPN {vpn:#x} has an authoritative mapping but remained "
+                "unreachable after a full index rebuild"
+            )
+        return LVMWalk(pte, node_accesses, line_paddrs, recovered=True)
+
+    def _covering_mapping(self, vpn: int) -> Optional[PTE]:
+        """The authoritative mapping covering ``vpn``, if any."""
+        from bisect import bisect_right
+
+        vpns = self._sorted_vpns
+        idx = bisect_right(vpns, vpn) - 1
+        if idx < 0:
+            return None
+        pte = self._mappings[vpns[idx]]
+        return pte if pte.covers(vpn) else None
+
+    def _auth_entries_in(self, lo: int, hi: int) -> List[PTE]:
+        """Authoritative mappings whose rebased range intersects
+        ``[lo, hi)``, in VPN order.
+
+        The rebased view of ``_sorted_vpns`` is itself sorted (the
+        build path already relies on that), but :mod:`bisect` cannot
+        search through a key function on this Python, so the left edge
+        is found with a manual binary search.
+        """
+        rebase = self.rebaser.rebase
+        vpns = self._sorted_vpns
+        low, high = 0, len(vpns)
+        while low < high:
+            mid = (low + high) // 2
+            if rebase(vpns[mid]) < lo:
+                low = mid + 1
+            else:
+                high = mid
+        start = low
+        # A mapping starting just left of ``lo`` may extend into it.
+        if start > 0:
+            prev = self._mappings[vpns[start - 1]]
+            if rebase(prev.vpn) + prev.page_size.pages_4k > lo:
+                start -= 1
+        out: List[PTE] = []
+        for i in range(start, len(vpns)):
+            pte = self._mappings[vpns[i]]
+            if rebase(pte.vpn) >= hi:
+                break
+            out.append(pte)
+        return out
+
+    def _repair_leaf(self, leaf: LeafNode) -> bool:
+        """Rebuild one leaf from the authoritative mapping set.
+
+        Corrupted table copies are discarded wholesale (the originals
+        in ``_mappings`` are never damaged) and the model is refit.
+        Returns False when one linear model can no longer describe the
+        leaf's keys, in which case the caller escalates to a rebuild.
+        """
+        entries = self._auth_entries_in(leaf.lo, leaf.hi)
+        ok = self._local_retrain(leaf, entries=entries)
+        if ok:
+            self.stats.recovered_retrains += 1
+        return ok
 
     def _leaf_window(self, leaf: LeafNode) -> int:
         return leaf.search_window + leaf.table.max_displacement + 2
 
     def find(self, vpn: int) -> Optional[PTE]:
-        """Software lookup without stats side effects (OS accesses to
-        the accessed/dirty bits, permission changes — section 5.2)."""
-        node = self.root
-        if node is None:
+        """Software lookup without walk accounting (OS accesses to the
+        accessed/dirty bits, permission changes — section 5.2)."""
+        if self.root is None:
             return None
         key = self.rebaser.rebase(vpn)
-        while isinstance(node, InternalNode):
-            node = node.children[node.route(key)]
-        eff_key = key if key >= node.lo else node.lo
-        if node.sorted_layout:
-            result = node.table.lookup_sorted(
-                node.predict_slot(eff_key), vpn, self._leaf_window(node)
-            )
-        else:
-            result = node.table.lookup(
-                node.predict_slot(eff_key), vpn, self._leaf_window(node)
-            )
-        return result.pte
+        leaf = self._leaf_for(key)
+        result = self._leaf_probe(leaf, key, vpn)
+        if result.pte is not None and not result.corrupt_seen:
+            return result.pte
+        # The learned structure may be damaged; the OS answers from its
+        # authoritative records and repairs the leaf in place.
+        auth = self._covering_mapping(vpn)
+        if result.corrupt_seen or (result.pte is None and auth is not None):
+            if not self._repair_leaf(leaf):
+                self._rebuild()
+                self.stats.recovered_rebuilds += 1
+        return result.pte if result.pte is not None else auth
 
     # ------------------------------------------------------------------
     # Insertion (section 4.3.4)
@@ -457,7 +645,7 @@ class LearnedIndex:
 
     def _insert(self, pte: PTE) -> None:
         if pte.vpn in self._mappings:
-            raise TranslationError(f"VPN {pte.vpn:#x} is already mapped")
+            raise DuplicateMappingError(f"VPN {pte.vpn:#x} is already mapped")
         self.stats.inserts += 1
         self._mappings[pte.vpn] = pte
         insort(self._sorted_vpns, pte.vpn)
@@ -539,22 +727,49 @@ class LearnedIndex:
         seen = set()
         ordered: List[PTE] = []
         for _, entry in leaf.table.entries():
+            # Corrupted table copies must never propagate into a refit;
+            # the authoritative originals are re-placed by _repair_leaf.
+            if not entry.is_intact():
+                continue
             if id(entry) not in seen:
                 seen.add(id(entry))
                 ordered.append(entry)
         ordered.sort(key=lambda p: p.vpn)
         return ordered
 
-    def _local_retrain(self, leaf: LeafNode, pending: Optional[PTE] = None) -> bool:
+    def _local_retrain(
+        self,
+        leaf: LeafNode,
+        pending: Optional[PTE] = None,
+        entries: Optional[List[PTE]] = None,
+    ) -> bool:
         """Refit only this leaf's model and re-place its entries
         (within-bounds insert slow path, section 4.3.4).  ``pending`` is
-        a not-yet-placed entry included in the refit.  Returns False
-        when the leaf cannot absorb its keys, forcing a full rebuild."""
+        a not-yet-placed entry included in the refit; ``entries``
+        overrides the source set (recovery retrains pass the
+        authoritative mappings instead of the table's own, possibly
+        damaged, contents).  Returns False when the leaf cannot absorb
+        its keys, forcing a full rebuild."""
         start_time = time.perf_counter()
-        entries = self._leaf_entries(leaf)
+        entries = (
+            self._leaf_entries(leaf) if entries is None else sorted(
+                entries, key=lambda p: p.vpn
+            )
+        )
         if pending is not None:
             entries.append(pending)
             entries.sort(key=lambda p: p.vpn)
+        if not entries:
+            # Nothing intact remains in range: clearing the table *is*
+            # the repair (the model stays, predicting into empty slots).
+            leaf.table.clear()
+            leaf.num_keys = 0
+            leaf.degraded = False
+            leaf.sorted_layout = False
+            self.stats.local_retrains += 1
+            self.stats.retrain_times_s.append(time.perf_counter() - start_time)
+            self.stats.lwc_flushes += 1
+            return True
         eff_keys, eff_ends = self._rebased_eff_arrays(leaf, entries)
         plan = plan_leaf(eff_keys, eff_ends, self.config)
         if not plan.within_error_bound:
@@ -622,11 +837,12 @@ class LearnedIndex:
             old_table, old_paddr, old_bytes = self._table_allocs.pop(id(leaf.table))
             new_bytes = (leaf.table.num_slots + extra) * PTE_SIZE
             try:
-                new_paddr = self.allocator.alloc(new_bytes)
+                new_paddr = self._alloc_with_retry(new_bytes)
             except OutOfPhysicalMemory:
                 # Cannot grow contiguously: fall back to a rebuild,
                 # which re-splits leaves to the available contiguity.
                 self._table_allocs[id(old_table)] = (old_table, old_paddr, old_bytes)
+                self.stats.rescale_fallback_rebuilds += 1
                 self._rebuild()
                 return
             self.allocator.free(old_paddr, old_bytes)
@@ -655,10 +871,21 @@ class LearnedIndex:
         while query < end:
             leaf = self._leaf_for(query)
             eff_key = max(start, leaf.lo)
-            slot = leaf.table.find_slot(
-                leaf.model.predict(eff_key), vpn, self._leaf_window(leaf)
-            )
-            leaf.table.remove(slot)
+            try:
+                slot = leaf.table.find_slot(
+                    leaf.model.predict(eff_key), vpn, self._leaf_window(leaf)
+                )
+                leaf.table.remove(slot)
+            except KeyError:
+                # The table copy is corrupted or the model has drifted.
+                # The mapping is already gone from the authoritative
+                # set, so retraining the leaf from it both repairs the
+                # damage and completes the removal.
+                if not self._repair_leaf(leaf):
+                    self._rebuild()
+                    self.stats.recovered_rebuilds += 1
+                    self.stats.management_time_s += time.perf_counter() - start_time
+                    return pte
             if leaf.hi >= end or leaf.hi <= query:
                 break
             query = leaf.hi
@@ -714,6 +941,10 @@ class LearnedIndex:
 
     def mappings(self) -> List[PTE]:
         return [self._mappings[v] for v in self._sorted_vpns]
+
+    def contains(self, vpn: int) -> bool:
+        """Whether ``vpn`` starts a live mapping (authoritative set)."""
+        return vpn in self._mappings
 
     # ------------------------------------------------------------------
     # Reclaim (section 7.3, "Memory Consumption")

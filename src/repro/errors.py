@@ -1,0 +1,82 @@
+"""Typed exception hierarchy for the whole library.
+
+Every error the reproduction can raise on purpose derives from
+:class:`ReproError`, so callers (the CLI, the chaos harness, the
+simulator) can distinguish *modeled* failures — a corrupted PTE, an
+exhausted allocator, a violated kernel invariant — from plain Python
+bugs.  The hierarchy mirrors the fault model documented in
+``docs/INTERNALS.md``:
+
+* :class:`ConfigError` — invalid configuration, rejected before any
+  simulation state is built (also a :class:`ValueError` for
+  backward compatibility with older call sites).
+* :class:`TranslationError` — a translation scheme was asked to do
+  something invalid (double-map, unmap of an absent page, ...).
+* :class:`InvariantViolation` — a kernel invariant does not hold
+  (overlapping VMAs, double-mapped physical frames, an index that
+  disagrees with the authoritative mapping set).
+* :class:`CorruptionError` — corrupted state was *detected* (a PTE
+  failing its integrity check, a poisoned walk-cache entry) where it
+  could not be transparently recovered.
+* :class:`AllocationError` — physical-memory allocation failures.
+* :class:`FaultInjectionError` — a malformed fault plan.
+* :class:`RecoveryExhaustedError` — the graceful-degradation ladder
+  (bounded probe → leaf scan → leaf retrain → full rebuild) ran out of
+  rungs without restoring a correct translation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every intentional error in the library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object failed validation."""
+
+
+class TranslationError(ReproError):
+    """Raised when a translation scheme is asked to do something invalid
+    (double-map, unmap of an absent page, walk of an unmapped VPN when
+    the caller demanded success, ...)."""
+
+
+class DuplicateMappingError(TranslationError):
+    """An insert targeted a VPN that is already mapped."""
+
+
+class InvariantViolation(TranslationError):
+    """A kernel-level invariant does not hold."""
+
+
+class OverlappingVMAError(InvariantViolation):
+    """Two VMAs in one address space overlap."""
+
+
+class DoubleMappedFrameError(InvariantViolation):
+    """Two live translations map the same physical frame."""
+
+
+class IndexInconsistencyError(InvariantViolation):
+    """The learned index disagrees with the authoritative mapping set."""
+
+
+class CorruptionError(ReproError):
+    """Corrupted state was detected and could not be recovered."""
+
+
+class AllocationError(ReproError):
+    """Physical-memory allocation failed."""
+
+
+class OutOfPhysicalMemory(AllocationError):
+    """The allocator cannot satisfy a request."""
+
+
+class FaultInjectionError(ConfigError):
+    """A fault plan is malformed (negative rate, unknown fault kind)."""
+
+
+class RecoveryExhaustedError(CorruptionError):
+    """Every rung of the degradation ladder failed to recover."""

@@ -1,0 +1,28 @@
+"""Deterministic, seeded fault injection for the LVM stack.
+
+The subsystem has two halves:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative description of
+  *which* fault classes fire and at what rate, carried inside
+  :class:`~repro.sim.config.SimConfig` so every run is reproducible
+  from its configuration alone.
+* :class:`~repro.faults.injector.FaultInjector` — the runtime that
+  draws from seeded per-site RNG streams and applies faults to live
+  simulator state: PTE bit flips in gapped page tables, leaf-model
+  perturbations, injected allocator failures, walk-cache poisoning,
+  and dropped/duplicated kernel mmap/munmap events.
+
+The defense side (detection and the bounded-probe → leaf-scan →
+leaf-retrain → full-rebuild degradation ladder) lives with the
+structures themselves; see ``docs/INTERNALS.md`` §"Fault model".
+"""
+
+from repro.faults.injector import FaultInjector, FaultyAllocator
+from repro.faults.plan import FaultKind, FaultPlan
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyAllocator",
+]

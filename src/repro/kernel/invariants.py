@@ -1,0 +1,120 @@
+"""Kernel-side invariant checking.
+
+The OS's view of a process must stay internally consistent no matter
+what the fault injector does to the learned structures or to the
+kernel→agent event stream.  These checks are the contract:
+
+* VMAs never overlap (:class:`~repro.errors.OverlappingVMAError`);
+* no physical frame is mapped by two translations
+  (:class:`~repro.errors.DoubleMappedFrameError`);
+* every translation the index holds falls inside a live VMA
+  (:class:`~repro.errors.IndexInconsistencyError`) — a violation is the
+  signature of a lost munmap event.
+
+``reconcile_stale_mappings`` is the recovery twin of the last check:
+instead of raising, it removes the orphaned translations, which is how
+the periodic kernel audit heals a desynchronized agent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import (
+    DoubleMappedFrameError,
+    IndexInconsistencyError,
+    OverlappingVMAError,
+)
+from repro.types import PTE
+
+
+def check_no_overlapping_vmas(address_space) -> None:
+    """Every pair of adjacent VMAs (in start order) must be disjoint."""
+    prev = None
+    for vma in address_space:
+        if prev is not None and vma.start_vpn < prev.end_vpn:
+            raise OverlappingVMAError(
+                f"VMA [{vma.start_vpn:#x}, {vma.end_vpn:#x}) overlaps "
+                f"[{prev.start_vpn:#x}, {prev.end_vpn:#x})"
+            )
+        prev = vma
+
+
+def gather_translations(process) -> List[PTE]:
+    """All live translations of a process, one PTE per mapping.
+
+    Enumerated through the VMA layer (the page-table interface has no
+    iteration API), stepping by each mapping's page size.
+    """
+    ptes: List[PTE] = []
+    seen = set()
+    for vma in process.address_space:
+        vpn = vma.start_vpn
+        while vpn < vma.end_vpn:
+            pte = process.page_table.find(vpn)
+            if pte is None:
+                vpn += 1
+                continue
+            if id(pte) not in seen:
+                seen.add(id(pte))
+                ptes.append(pte)
+            vpn = max(vpn + 1, pte.vpn + pte.page_size.pages_4k)
+    return ptes
+
+
+def check_no_double_mapped_frames(ptes: List[PTE]) -> None:
+    """No physical frame may back two different translations."""
+    ranges = sorted(
+        (p.ppn, p.ppn + p.page_size.pages_4k, p.vpn) for p in ptes
+    )
+    prev_end = -1
+    prev_vpn = 0
+    for start, end, vpn in ranges:
+        if start < prev_end:
+            raise DoubleMappedFrameError(
+                f"frame {start:#x} is mapped by both VPN {prev_vpn:#x} "
+                f"and VPN {vpn:#x}"
+            )
+        prev_end, prev_vpn = end, vpn
+
+
+def check_index_consistency(process) -> None:
+    """Every translation the (LVM) index holds must be inside a VMA.
+
+    Schemes without an authoritative mapping list are skipped; for LVM
+    this catches translations orphaned by lost munmap events.
+    """
+    mappings = getattr(process.page_table, "mappings", None)
+    if mappings is None:
+        return
+    for pte in mappings():
+        if process.address_space.find(pte.vpn) is None:
+            raise IndexInconsistencyError(
+                f"index holds VPN {pte.vpn:#x} but no VMA covers it"
+            )
+
+
+def check_process_invariants(process) -> None:
+    """Run every invariant check; raises the first violation found."""
+    check_no_overlapping_vmas(process.address_space)
+    check_no_double_mapped_frames(gather_translations(process))
+    check_index_consistency(process)
+
+
+def reconcile_stale_mappings(process) -> int:
+    """Remove index translations no VMA covers (lost munmap events).
+
+    Returns the number of stale translations dropped.  This is the
+    recovery path behind :func:`check_index_consistency`.
+    """
+    mappings = getattr(process.page_table, "mappings", None)
+    if mappings is None:
+        return 0
+    stale = [
+        pte.vpn
+        for pte in mappings()
+        if process.address_space.find(pte.vpn) is None
+    ]
+    for vpn in stale:
+        process.page_table.unmap(vpn)
+    return len(stale)

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.core.config import LVMConfig
 from repro.core.learned_index import LearnedIndex
 from repro.core.rebase import AddressSpaceRebaser, cluster_regions
+from repro.errors import DuplicateMappingError
 from repro.mem.allocator import PhysicalAllocator
 from repro.types import PTE, TranslationError
 
@@ -50,6 +51,7 @@ class LVMManager:
     ):
         self.index = LearnedIndex(allocator, config)
         self._batched: List[PTE] = []
+        self._batched_vpns: set = set()
         self._batching = False
 
     # -- bulk initialization -------------------------------------------
@@ -66,6 +68,7 @@ class LVMManager:
             self._rebuild_rebaser(existing + self._batched)
             self.index.bulk_build(existing + self._batched)
             self._batched = []
+            self._batched_vpns = set()
 
     def _rebuild_rebaser(self, ptes: List[PTE]) -> None:
         """Program the ASLR rebase registers from the current segment
@@ -84,8 +87,18 @@ class LVMManager:
     # -- PageTable interface ---------------------------------------------
     def map(self, pte: PTE) -> None:
         if self._batching:
+            # The duplicate guard must hold even while deferring: a
+            # replayed mmap event is rejected here instead of poisoning
+            # the deferred bulk build.
+            if pte.vpn in self._batched_vpns or self.index.contains(pte.vpn):
+                raise DuplicateMappingError(
+                    f"VPN {pte.vpn:#x} is already mapped"
+                )
             self._batched.append(pte)
+            self._batched_vpns.add(pte.vpn)
             return
+        if self.index.contains(pte.vpn):
+            raise DuplicateMappingError(f"VPN {pte.vpn:#x} is already mapped")
         if not self.index.rebaser.in_headroom(pte.vpn):
             # New segment outside every rebased region: reprogram the
             # rebase registers and rebuild (rare; program start-up or a
@@ -102,6 +115,7 @@ class LVMManager:
         if self._batching:
             for i, pte in enumerate(self._batched):
                 if pte.vpn == vpn:
+                    self._batched_vpns.discard(vpn)
                     return self._batched.pop(i)
             raise TranslationError(f"VPN {vpn:#x} is not mapped")
         return self.index.remove(vpn)
@@ -111,6 +125,27 @@ class LVMManager:
 
     def find(self, vpn: int) -> Optional[PTE]:
         return self.index.find(vpn)
+
+    def mappings(self) -> List[PTE]:
+        """The authoritative mapping list, in VPN order."""
+        if self._batching:
+            return sorted(
+                self.index.mappings() + self._batched, key=lambda p: p.vpn
+            )
+        return self.index.mappings()
+
+    def audit(self, address_space) -> int:
+        """Reconciliation audit against the OS's VMA records: drop
+        index translations no VMA covers (lost munmap events).
+        Returns the number of stale translations removed."""
+        stale = [
+            pte.vpn
+            for pte in self.index.mappings()
+            if address_space.find(pte.vpn) is None
+        ]
+        for vpn in stale:
+            self.index.remove(vpn)
+        return len(stale)
 
     # -- software PTE updates (section 5.2, "Software lookup") ---------
     def set_accessed(self, vpn: int) -> None:

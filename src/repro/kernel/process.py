@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.errors import DuplicateMappingError
+from repro.kernel import invariants
 from repro.kernel.thp import MappingPlan, plan_vma_mappings
 from repro.kernel.vma import VMA, AddressSpace
 from repro.mem.allocator import BumpAllocator, PhysicalAllocator
@@ -24,6 +26,12 @@ class ProcessStats:
     mapped_pages: int = 0
     huge_mappings: int = 0
     shootdowns: int = 0
+    # Event-stream fault accounting (injection + recovery).
+    dropped_mmap_events: int = 0
+    dropped_munmap_events: int = 0
+    duplicate_events: int = 0
+    duplicate_rejects: int = 0
+    stale_reconciled: int = 0
 
 
 class Process:
@@ -36,12 +44,16 @@ class Process:
         asid: int = 0,
         thp: bool = False,
         thp_coverage: float = 0.9,
+        injector=None,
     ):
         self.page_table = page_table
         self.allocator = allocator or BumpAllocator()
         self.asid = asid
         self.thp = thp
         self.thp_coverage = thp_coverage
+        # Optional FaultInjector perturbing the kernel→page-table event
+        # stream (dropped / duplicated mmap and munmap deliveries).
+        self.injector = injector
         self.address_space = AddressSpace()
         self.stats = ProcessStats()
         self._next_ppn = 1 << 20  # frame numbers for data pages
@@ -73,16 +85,46 @@ class Process:
             self._map_one(plan, vma)
         return plans
 
-    def _map_one(self, plan: MappingPlan, vma: VMA) -> PTE:
+    def _map_one(self, plan: MappingPlan, vma: VMA, faulting: bool = False) -> PTE:
         ppn = self._alloc_frames(plan.page_size)
         pte = PTE(
             vpn=plan.vpn, ppn=ppn, page_size=plan.page_size, perms=vma.perms
         )
-        self.page_table.map(pte)
+        inj = self.injector
+        if inj is not None and not faulting and inj.drop_kernel_event():
+            # The async map event was lost before reaching the agent:
+            # the VMA record stands, so demand faults remap on first
+            # touch.  (Fault-time maps are synchronous — never dropped.)
+            self.stats.dropped_mmap_events += 1
+            return pte
+        self._deliver_map(pte)
+        if inj is not None and inj.duplicate_kernel_event():
+            # The event was replayed; the duplicate must bounce off the
+            # page table's duplicate-mapping guard.
+            self.stats.duplicate_events += 1
+            self._deliver_map(pte, replay=True)
         self.stats.mapped_pages += plan.page_size.pages_4k
         if plan.page_size is not PageSize.SIZE_4K:
             self.stats.huge_mappings += 1
         return pte
+
+    def _deliver_map(self, pte: PTE, replay: bool = False) -> None:
+        """Hand one map event to the page table, absorbing duplicates.
+
+        A replayed event is simply rejected.  A *fresh* mapping that
+        collides means a stale translation squatting on the VPN (the
+        signature of a lost munmap): the kernel reconciles by unmapping
+        it first, then delivering the new translation.
+        """
+        try:
+            self.page_table.map(pte)
+        except DuplicateMappingError:
+            if replay:
+                self.stats.duplicate_rejects += 1
+                return
+            self.page_table.unmap(pte.vpn)
+            self.stats.stale_reconciled += 1
+            self.page_table.map(pte)
 
     def munmap(self, start_vpn: int, mmu=None) -> None:
         """Remove a VMA, unmapping every translation inside it.
@@ -95,6 +137,13 @@ class Process:
         while vpn < vma.end_vpn:
             pte = self.page_table.find(vpn)
             if pte is not None and pte.vpn == vpn:
+                if self.injector is not None and self.injector.drop_kernel_event():
+                    # Lost unmap event: the translation goes stale until
+                    # the reconciliation audit (or a colliding fresh map)
+                    # removes it.
+                    self.stats.dropped_munmap_events += 1
+                    vpn += pte.page_size.pages_4k
+                    continue
                 self.page_table.unmap(vpn)
                 self.stats.mapped_pages -= pte.page_size.pages_4k
                 if mmu is not None:
@@ -113,4 +162,17 @@ class Process:
             raise TranslationError(f"segfault: VA {va:#x} is not mapped")
         self.stats.faults += 1
         plan = MappingPlan(vpn, PageSize.SIZE_4K)
-        return self._map_one(plan, vma)
+        return self._map_one(plan, vma, faulting=True)
+
+    # -- invariants ----------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise a typed :class:`~repro.errors.InvariantViolation` if
+        the address space or page table is inconsistent."""
+        invariants.check_process_invariants(self)
+
+    def reconcile(self) -> int:
+        """Drop page-table translations no VMA covers (lost munmap
+        events); returns the number removed."""
+        removed = invariants.reconcile_stale_mappings(self)
+        self.stats.stale_reconciled += removed
+        return removed

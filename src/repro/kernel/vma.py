@@ -13,6 +13,7 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.errors import OverlappingVMAError
 from repro.types import Permission, TranslationError
 
 
@@ -52,7 +53,7 @@ class AddressSpace:
             if 0 <= neighbour_idx < len(self._starts):
                 neighbour = self._vmas[self._starts[neighbour_idx]]
                 if neighbour.overlaps(vma):
-                    raise TranslationError(
+                    raise OverlappingVMAError(
                         f"VMA [{vma.start_vpn:#x}, {vma.end_vpn:#x}) overlaps "
                         f"[{neighbour.start_vpn:#x}, {neighbour.end_vpn:#x})"
                     )

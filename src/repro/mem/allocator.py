@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from repro.errors import AllocationError, OutOfPhysicalMemory
 
-class OutOfPhysicalMemory(Exception):
-    """The allocator cannot satisfy a request."""
+__all__ = [
+    "AllocationError",
+    "BumpAllocator",
+    "OutOfPhysicalMemory",
+    "PhysicalAllocator",
+]
 
 
 @runtime_checkable

@@ -35,6 +35,44 @@ class HierarchyConfig:
     # scans) would look memory-bound in a way real hardware is not.
     prefetch_degree: int = 2
 
+    def validate(self) -> None:
+        """Reject impossible cache geometries with a clear message."""
+        from repro.errors import ConfigError
+
+        for level in ("l1", "l2", "l3"):
+            size = getattr(self, f"{level}_size")
+            ways = getattr(self, f"{level}_ways")
+            latency = getattr(self, f"{level}_latency")
+            if size <= 0:
+                raise ConfigError(
+                    f"{level.upper()} cache size must be positive, got {size!r}"
+                )
+            if ways <= 0:
+                raise ConfigError(
+                    f"{level.upper()} associativity must be positive, got {ways!r}"
+                )
+            if size < ways * 64:
+                raise ConfigError(
+                    f"{level.upper()} size {size} cannot hold one 64 B line "
+                    f"per way ({ways} ways)"
+                )
+            if latency < 0:
+                raise ConfigError(
+                    f"{level.upper()} latency cannot be negative, got {latency!r}"
+                )
+        if self.dram_latency <= 0:
+            raise ConfigError(
+                f"DRAM latency must be positive, got {self.dram_latency!r}"
+            )
+        if self.walker_entry not in ("l1", "l2", "l3"):
+            raise ConfigError(
+                f"walker_entry must be 'l1', 'l2' or 'l3', got {self.walker_entry!r}"
+            )
+        if self.prefetch_degree < 0:
+            raise ConfigError(
+                f"prefetch_degree cannot be negative, got {self.prefetch_degree!r}"
+            )
+
     @staticmethod
     def scaled(factor: int) -> "HierarchyConfig":
         """Capacities divided by ``factor`` (latencies unchanged).

@@ -87,6 +87,33 @@ class TLBConfig:
     l2_ways: int = 12
     l2_latency: int = 7  # cycles to deliver a hit from the L2 TLB
 
+    def validate(self) -> None:
+        """Reject impossible TLB geometries with a clear message."""
+        from repro.errors import ConfigError
+
+        for entries_name, ways_name in (
+            ("l1_4k_entries", "l1_4k_ways"),
+            ("l1_2m_entries", "l1_2m_ways"),
+            ("l2_entries_per_size", "l2_ways"),
+        ):
+            entries = getattr(self, entries_name)
+            ways = getattr(self, ways_name)
+            if entries <= 0:
+                raise ConfigError(
+                    f"{entries_name} must be positive, got {entries!r}"
+                )
+            if ways <= 0:
+                raise ConfigError(f"{ways_name} must be positive, got {ways!r}")
+            if entries < ways:
+                raise ConfigError(
+                    f"{entries_name}={entries} needs at least one set "
+                    f"({ways_name}={ways})"
+                )
+        if self.l2_latency < 0:
+            raise ConfigError(
+                f"l2_latency cannot be negative, got {self.l2_latency!r}"
+            )
+
     @staticmethod
     def scaled(factor: int) -> "TLBConfig":
         """Entry counts divided by ``factor`` (latency unchanged).

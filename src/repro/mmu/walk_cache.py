@@ -21,18 +21,34 @@ from repro.core.fixed_point import MODEL_BYTES
 
 
 class _LRUSet:
-    """A fully-associative LRU structure with hit/miss counters."""
+    """A fully-associative LRU structure with hit/miss counters.
+
+    Entries can be *poisoned* (fault injection standing in for a
+    corrupted SRAM cell).  Hardware walk caches protect entries with
+    parity, so a poisoned entry is detected the moment it is used: the
+    lookup reports a miss, the entry is invalidated, and the detection
+    is counted so the walker can charge the dead probe.
+    """
 
     def __init__(self, name: str, capacity: int, latency: int = 2):
         self.name = name
         self.capacity = capacity
         self.latency = latency
         self._entries: Dict[Tuple, None] = {}
+        self._poisoned: set = set()
         self.hits = 0
         self.misses = 0
+        self.poison_detections = 0
 
     def lookup(self, key: Tuple) -> bool:
         if key in self._entries:
+            if key in self._poisoned:
+                # Parity mismatch: drop the entry and miss.
+                self._poisoned.discard(key)
+                del self._entries[key]
+                self.poison_detections += 1
+                self.misses += 1
+                return False
             del self._entries[key]
             self._entries[key] = None
             self.hits += 1
@@ -41,23 +57,38 @@ class _LRUSet:
         return False
 
     def insert(self, key: Tuple) -> None:
+        # A fresh fill overwrites whatever damage the slot held.
+        self._poisoned.discard(key)
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.capacity:
-            self._entries.pop(next(iter(self._entries)))
+            victim = next(iter(self._entries))
+            del self._entries[victim]
+            self._poisoned.discard(victim)
         self._entries[key] = None
 
     def invalidate(self, key: Tuple) -> None:
         self._entries.pop(key, None)
+        self._poisoned.discard(key)
 
     def flush_where(self, predicate) -> int:
         victims = [k for k in self._entries if predicate(k)]
         for key in victims:
             del self._entries[key]
+            self._poisoned.discard(key)
         return len(victims)
 
     def flush(self) -> None:
         self._entries.clear()
+        self._poisoned.clear()
+
+    def poison_random(self, rng) -> bool:
+        """Poison one resident entry; returns False when empty."""
+        if not self._entries:
+            return False
+        keys = list(self._entries)
+        self._poisoned.add(keys[rng.randrange(len(keys))])
+        return True
 
     @property
     def accesses(self) -> int:
@@ -109,6 +140,19 @@ class RadixPWC:
         for lru in self.levels.values():
             lru.flush_where(lambda k: k[0] == asid)
 
+    def poison_random(self, rng) -> bool:
+        """Poison one resident entry in a random level (fault injection)."""
+        levels = list(self.levels.values())
+        start = rng.randrange(len(levels))
+        for i in range(len(levels)):
+            if levels[(start + i) % len(levels)].poison_random(rng):
+                return True
+        return False
+
+    @property
+    def poison_detections(self) -> int:
+        return sum(lru.poison_detections for lru in self.levels.values())
+
     @property
     def hit_rate_by_level(self) -> Dict[int, float]:
         return {lvl: lru.hit_rate for lvl, lru in self.levels.items()}
@@ -150,6 +194,13 @@ class LWC:
         self._lru.flush_where(lambda k: k[0] == asid)
         self.flushes += 1
 
+    def poison_random(self, rng) -> bool:
+        return self._lru.poison_random(rng)
+
+    @property
+    def poison_detections(self) -> int:
+        return self._lru.poison_detections
+
     @property
     def hit_rate(self) -> float:
         return self._lru.hit_rate
@@ -179,6 +230,15 @@ class CWC:
     def fill(self, vpn: int, asid: int) -> None:
         self.pmd.insert((asid, vpn >> 9))
         self.pud.insert((asid, vpn >> 18))
+
+    def poison_random(self, rng) -> bool:
+        if rng.random() < 0.5:
+            return self.pmd.poison_random(rng) or self.pud.poison_random(rng)
+        return self.pud.poison_random(rng) or self.pmd.poison_random(rng)
+
+    @property
+    def poison_detections(self) -> int:
+        return self.pmd.poison_detections + self.pud.poison_detections
 
     @property
     def hit_rate(self) -> float:

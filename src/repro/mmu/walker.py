@@ -47,11 +47,19 @@ class RadixWalker:
         self.walks = 0
         self.total_cycles = 0
         self.total_accesses = 0
+        self.poison_detections = 0
 
     def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
         result = self.table.walk(vpn)
+        poison_before = self.pwc.poison_detections
         lowest = self.pwc.lowest_cached_level(vpn, asid)
         cycles = self.pwc.latency
+        # A parity trip costs the dead probe before the walk restarts
+        # below the invalidated entry.
+        detected = self.pwc.poison_detections - poison_before
+        if detected:
+            self.poison_detections += detected
+            cycles += detected * self.pwc.latency
         issued = 0
         for access in result.accesses:
             if lowest is not None and access.level >= lowest:
@@ -96,9 +104,11 @@ class ECPTWalker:
         self.walks = 0
         self.total_cycles = 0
         self.total_accesses = 0
+        self.poison_detections = 0
 
     def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
         result = self.table.walk(vpn)
+        poison_before = self.cwc.poison_detections
         cycles = self.cwc.latency
         issued = 0
         # CWT consults on CWC miss: the PUD entry always, the PMD entry
@@ -132,6 +142,10 @@ class ECPTWalker:
                 probe_latency, self.hierarchy.walk_access(access.paddr)
             )
             issued += 1
+        detected = self.cwc.poison_detections - poison_before
+        if detected:
+            self.poison_detections += detected
+            cycles += detected * self.cwc.latency
         cycles += cwt_latency + probe_latency
         self.walks += 1
         self.total_cycles += cycles
@@ -154,6 +168,9 @@ class LVMWalker:
         self.walks = 0
         self.total_cycles = 0
         self.total_accesses = 0
+        self.poison_detections = 0
+        self.recovered_walks = 0
+        self.recovery_cycles = 0
         self._seen_flushes = index.stats.lwc_flushes
 
     def _sync_flushes(self, asid: int) -> None:
@@ -165,6 +182,11 @@ class LVMWalker:
     def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
         self._sync_flushes(asid)
         trace = self.index.lookup(vpn)
+        # A recovery may retrain or rebuild mid-lookup; flush the LWC
+        # before charging the walk so its node fetches see the
+        # post-repair state.
+        self._sync_flushes(asid)
+        poison_before = self.lwc.poison_detections
         cycles = 0
         issued = 0
         for level, offset, paddr in trace.node_accesses:
@@ -177,6 +199,16 @@ class LVMWalker:
         for paddr in trace.pte_line_paddrs:
             cycles += self.hierarchy.walk_access(paddr)
             issued += 1
+        detected = self.lwc.poison_detections - poison_before
+        if detected:
+            self.poison_detections += detected
+            cycles += detected * self.lwc.latency
+        if trace.recovered:
+            self.recovered_walks += 1
+            # The degradation ladder's extra line fetches are already in
+            # pte_line_paddrs; attribute everything past the first
+            # (collision-free) translation access to recovery.
+            self.recovery_cycles += max(0, cycles - self.lwc.latency)
         self.walks += 1
         self.total_cycles += cycles
         self.total_accesses += issued

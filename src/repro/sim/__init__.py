@@ -8,7 +8,7 @@ from repro.sim.config import (
     SimConfig,
     table1_rows,
 )
-from repro.sim.results import ResultSet, SimResult, geomean, mean
+from repro.sim.results import ResultSet, RunFailure, SimResult, geomean, mean
 from repro.sim.runner import run_suite, summarize_speedups
 from repro.sim.simulator import Simulator, simulate
 
@@ -17,6 +17,7 @@ __all__ = [
     "EXTENDED_SCHEMES",
     "LVMCostModel",
     "ResultSet",
+    "RunFailure",
     "SCHEMES",
     "SimConfig",
     "SimResult",

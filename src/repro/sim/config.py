@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 from repro.mmu.hierarchy import HierarchyConfig
 from repro.mmu.tlb import TLBConfig
 
@@ -32,6 +34,20 @@ class CoreModel:
     # latency is exposed.
     walk_stall_exposure: float = 0.85
 
+    def validate(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigError(
+                f"core frequency must be positive, got {self.frequency_ghz!r}"
+            )
+        if self.base_cpi <= 0:
+            raise ConfigError(f"base CPI must be positive, got {self.base_cpi!r}")
+        for name in ("data_stall_exposure", "walk_stall_exposure"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigError(
+                    f"{name}={value!r} must be a fraction within [0, 1]"
+                )
+
 
 @dataclass
 class LVMCostModel:
@@ -47,6 +63,20 @@ class LVMCostModel:
     rescale_cycles: float = 1500.0
     local_retrain_cycles: float = 4000.0
     rebuild_cycles_per_key: float = 1.5
+
+    def validate(self) -> None:
+        for name in (
+            "build_cycles_per_key",
+            "insert_cycles",
+            "rescale_cycles",
+            "local_retrain_cycles",
+            "rebuild_cycles_per_key",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(
+                    f"LVM cost {name}={value!r} cannot be negative"
+                )
 
 
 #: Cache-capacity scaling used by default: workload footprints are
@@ -86,6 +116,45 @@ class SimConfig:
     # allocator (the common, lightly fragmented datacenter case).
     phys_mem_bytes: Optional[int] = None
     asap_prefetch_success: float = 1.0
+    # Fault-injection plan; None (or an all-zero plan) leaves every
+    # run bit-identical to a build without the injector.
+    faults: Optional[FaultPlan] = None
+    # Cross-check every translation against the OS's authoritative
+    # records (chaos-harness mode; costs a software lookup per ref).
+    verify_translations: bool = False
+
+    def validate(self) -> None:
+        """Reject impossible configurations with a clear message.
+
+        Raises :class:`~repro.errors.ConfigError` (a ``ValueError``
+        subclass) so pre-existing callers that caught ValueError keep
+        working.
+        """
+        if self.num_refs <= 0:
+            raise ConfigError(f"num_refs must be positive, got {self.num_refs!r}")
+        if self.footprint_scale < 1:
+            raise ConfigError(
+                f"footprint_scale must be >= 1, got {self.footprint_scale!r}"
+            )
+        if not (0.0 <= self.thp_coverage <= 1.0):
+            raise ConfigError(
+                f"thp_coverage={self.thp_coverage!r} must be within [0, 1]"
+            )
+        if not (0.0 <= self.asap_prefetch_success <= 1.0):
+            raise ConfigError(
+                "asap_prefetch_success="
+                f"{self.asap_prefetch_success!r} must be within [0, 1]"
+            )
+        if self.phys_mem_bytes is not None and self.phys_mem_bytes <= 0:
+            raise ConfigError(
+                f"phys_mem_bytes must be positive, got {self.phys_mem_bytes!r}"
+            )
+        self.hierarchy.validate()
+        self.tlb.validate()
+        self.core.validate()
+        self.lvm_costs.validate()
+        if self.faults is not None:
+            self.faults.validate()
 
     def clone(self, **overrides) -> "SimConfig":
         import copy

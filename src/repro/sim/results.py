@@ -42,6 +42,14 @@ class SimResult:
     avg_extra_accesses: float = 0.0
     mgmt_cycles: float = 0.0
     mgmt_detail: Dict[str, float] = field(default_factory=dict)
+    # Fault injection and graceful degradation
+    faults_injected: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    incorrect_translations: int = 0
+    recoveries: int = 0
+    recovery_detail: Dict[str, int] = field(default_factory=dict)
+    recovery_cycles: int = 0
+    poison_detections: int = 0
 
     @property
     def walk_cycles_per_walk(self) -> float:
@@ -59,14 +67,33 @@ class SimResult:
         return json.dumps(asdict(self), indent=2)
 
 
+@dataclass
+class RunFailure:
+    """One (workload, scheme, thp) run that raised instead of finishing."""
+
+    workload: str
+    scheme: str
+    thp: bool
+    error: str  # exception class name
+    message: str
+
+
 class ResultSet:
     """A collection of runs with the paper's normalizations built in."""
 
     def __init__(self, results: Optional[Iterable[SimResult]] = None):
         self.results: List[SimResult] = list(results or [])
+        self.failures: List[RunFailure] = []
 
     def add(self, result: SimResult) -> None:
         self.results.append(result)
+
+    def add_failure(
+        self, workload: str, scheme: str, thp: bool, exc: BaseException
+    ) -> None:
+        self.failures.append(
+            RunFailure(workload, scheme, thp, type(exc).__name__, str(exc))
+        )
 
     # -- persistence -----------------------------------------------------
     def save(self, path) -> None:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.errors import ConfigError, ReproError
 from repro.sim.config import SCHEMES, SimConfig
 from repro.sim.results import ResultSet
 from repro.sim.simulator import Simulator
@@ -21,27 +22,53 @@ def run_suite(
     page_modes: Iterable[bool] = (False, True),
     config: Optional[SimConfig] = None,
     verbose: bool = False,
+    on_error: str = "raise",
 ) -> ResultSet:
     """Run every (workload, scheme, thp) combination.
 
     ``page_modes`` holds THP flags: False = 4 KB pages only, True =
     transparent huge pages (section 6.3's two configurations).
+
+    ``on_error`` controls what happens when one run raises a
+    :class:`ReproError`: ``"raise"`` propagates immediately (fail
+    fast), ``"collect"`` records it in ``ResultSet.failures`` and moves
+    on to the remaining combinations.  Non-``ReproError`` exceptions
+    (genuine bugs) always propagate.
     """
+    if on_error not in ("raise", "collect"):
+        raise ConfigError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
     base = config or SimConfig()
     names = list(workload_names or SUITE)
     results = ResultSet()
-    built: Dict[str, BuiltWorkload] = {
-        name: build_workload(
-            name, scale=base.footprint_scale, seed=base.workload_seed
-        )
-        for name in names
-    }
+    built: Dict[str, BuiltWorkload] = {}
+    for name in names:
+        try:
+            built[name] = build_workload(
+                name, scale=base.footprint_scale, seed=base.workload_seed
+            )
+        except KeyError as exc:
+            # A typo'd workload name is a configuration mistake, not a
+            # crash: surface it as the CLI's one-line exit-code-2 path.
+            raise ConfigError(exc.args[0] if exc.args else str(exc)) from exc
     for thp in page_modes:
         for name in names:
             for scheme in schemes:
                 cfg = base.clone(thp=thp)
-                sim = Simulator(scheme, built[name], cfg)
-                result = sim.run()
+                try:
+                    sim = Simulator(scheme, built[name], cfg)
+                    result = sim.run()
+                except ReproError as exc:
+                    if on_error == "raise":
+                        raise
+                    results.add_failure(name, scheme, thp, exc)
+                    if verbose:
+                        print(
+                            f"  {name:6s} {scheme:7s} thp={int(thp)} "
+                            f"FAILED: {type(exc).__name__}: {exc}"
+                        )
+                    continue
                 results.add(result)
                 if verbose:
                     print(

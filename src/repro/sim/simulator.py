@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import LVMConfig
+from repro.faults import FaultInjector
 from repro.kernel.manager import LVMManager
 from repro.kernel.process import Process
 from repro.mem.allocator import BumpAllocator
@@ -32,7 +33,7 @@ from repro.pagetables.ideal import IdealPageTable
 from repro.pagetables.radix import RadixPageTable
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
-from repro.types import TranslationError
+from repro.types import BASE_PAGE_SIZE, TranslationError
 from repro.workloads.registry import BuiltWorkload
 
 
@@ -50,11 +51,24 @@ class Simulator:
         self.scheme = scheme
         self.workload = workload
         self.config = config or SimConfig()
+        self.config.validate()
         self.lvm_config = lvm_config
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        # An all-zero (or absent) plan builds no injector at all, so
+        # fault-free runs stay bit-identical to the pre-injector code.
+        plan = self.config.faults
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(plan) if plan is not None and plan.enabled else None
+        )
+        self.incorrect_translations = 0
         # ``allocator`` lets the fragmentation studies (sections 7.3,
         # 7.5.3) back the page tables with a pre-fragmented buddy.
         self.allocator = allocator if allocator is not None else self._make_allocator()
+        if self.injector is not None and scheme == "lvm":
+            # Injected allocation failures target the LVM structures
+            # (gapped tables, model arrays), which own the
+            # retry-with-backoff defense.
+            self.allocator = self.injector.wrap_allocator(self.allocator)
         self.manager: Optional[LVMManager] = None
         self.page_table = self._make_page_table()
         self.process = Process(
@@ -62,6 +76,7 @@ class Simulator:
             allocator=self.allocator,
             thp=self.config.thp,
             thp_coverage=self.config.thp_coverage,
+            injector=self.injector,
         )
         self._populate()
         self.walker = self._make_walker()
@@ -134,10 +149,14 @@ class Simulator:
         translate = self.mmu.translate
         access = self.hierarchy.access
         fault = self.process.handle_fault
+        injector = self.injector
+        verify = self.config.verify_translations
         data_stall = 0
         mmu_cycles = 0
         for va in trace:
             va = int(va)
+            if injector is not None:
+                injector.on_reference(self)
             pte, tcycles = translate(va)
             if pte is None:
                 # Demand fault: the OS maps the page, the access retries.
@@ -146,19 +165,37 @@ class Simulator:
                 tcycles += more
                 if pte is None:
                     raise TranslationError(f"unmappable VA {va:#x}")
+            if verify:
+                self._verify_translation(va, pte)
             mmu_cycles += tcycles
             data_stall += access(pte.translate(va))
         return data_stall, mmu_cycles
+
+    def _verify_translation(self, va: int, pte) -> None:
+        """Chaos-harness cross-check: the translation the MMU returned
+        must agree with the OS's authoritative mapping records."""
+        vpn = va // BASE_PAGE_SIZE
+        auth = self.process.page_table.find(vpn)
+        if (
+            auth is None
+            or not pte.covers(vpn)
+            or auth.ppn != pte.ppn
+            or auth.page_size != pte.page_size
+        ):
+            self.incorrect_translations += 1
 
     def _run_midgard(self, trace) -> "tuple[int, int]":
         """Midgard (section 7.5.2): the cache hierarchy is indexed by
         intermediate (virtual) addresses, so hits need no translation;
         only LLC misses walk the (radix) page table."""
         access_info = self.hierarchy.access_info
+        injector = self.injector
         data_stall = 0
         mmu_cycles = 0
         for va in trace:
             va = int(va)
+            if injector is not None:
+                injector.on_reference(self)
             latency, level = access_info(va, entry="l1")
             data_stall += latency
             if level == "DRAM":
@@ -224,6 +261,7 @@ class Simulator:
         )
         self._fill_walk_cache_stats(result)
         self._fill_lvm_stats(result)
+        self._fill_fault_stats(result)
         return result
 
     def _fill_walk_cache_stats(self, result: SimResult) -> None:
@@ -252,6 +290,44 @@ class Simulator:
         result.index_depth = index.depth
         result.collision_rate = index.stats.collision_rate
         result.avg_extra_accesses = index.stats.avg_extra_accesses_per_collision
+
+    def _fill_fault_stats(self, result: SimResult) -> None:
+        if self.injector is not None:
+            result.faults_injected = self.injector.total_injected
+            result.fault_counts = dict(self.injector.counts)
+        result.incorrect_translations = self.incorrect_translations
+        detail = {}
+        pstats = self.process.stats
+        for name in (
+            "dropped_mmap_events",
+            "dropped_munmap_events",
+            "duplicate_events",
+            "duplicate_rejects",
+            "stale_reconciled",
+        ):
+            value = getattr(pstats, name)
+            if value:
+                detail[name] = value
+        detections = getattr(self.walker, "poison_detections", 0)
+        if detections:
+            detail["poison_detections"] = detections
+        result.poison_detections = detections
+        if self.manager is not None:
+            istats = self.manager.index.stats
+            for name in (
+                "recovered_scans",
+                "recovered_retrains",
+                "recovered_rebuilds",
+                "corrupt_entries_detected",
+                "alloc_retries",
+                "rescale_fallback_rebuilds",
+            ):
+                value = getattr(istats, name)
+                if value:
+                    detail[name] = value
+            result.recovery_cycles = getattr(self.walker, "recovery_cycles", 0)
+        result.recovery_detail = detail
+        result.recoveries = sum(detail.values())
 
 
 def simulate(

@@ -12,6 +12,26 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import TranslationError
+
+__all__ = [
+    "AccessKind",
+    "BASE_PAGE_SHIFT",
+    "BASE_PAGE_SIZE",
+    "CACHE_LINE_SIZE",
+    "PTE",
+    "PTE_SIZE",
+    "PageSize",
+    "Permission",
+    "TranslationError",
+    "WalkAccess",
+    "WalkResult",
+    "align_down",
+    "align_up",
+    "va_of",
+    "vpn_of",
+]
+
 BASE_PAGE_SHIFT = 12
 BASE_PAGE_SIZE = 1 << BASE_PAGE_SHIFT
 CACHE_LINE_SIZE = 64
@@ -93,6 +113,46 @@ class PTE:
     dirty: bool = False
     present: bool = True
 
+    def __post_init__(self) -> None:
+        # Integrity tag over the translation-defining fields, the
+        # software stand-in for the parity/ECC bits hardware keeps on
+        # page-table entries.  ``accessed``/``dirty``/``perms`` mutate
+        # legitimately and are excluded.
+        self._tag = self._integrity_tag()
+
+    def _integrity_tag(self) -> int:
+        return (
+            self.vpn * 0x9E3779B97F4A7C15
+            + self.ppn * 0xC2B2AE3D27D4EB4F
+            + self.page_size.value
+        ) & 0xFFFFFFFF
+
+    def is_intact(self) -> bool:
+        """Whether the entry passes its integrity check (no bit flips in
+        vpn/ppn/page_size since construction)."""
+        return getattr(self, "_tag", None) == self._integrity_tag()
+
+    def with_bitflip(self, fld: str = "ppn", bit: int = 0) -> "PTE":
+        """A *corrupted copy* of this entry: one bit flipped in ``fld``
+        (``"vpn"`` or ``"ppn"``) while the integrity tag keeps its
+        pre-flip value, so :meth:`is_intact` fails.
+
+        Used by the fault injector; the original object (the OS's
+        authoritative record) is never mutated.
+        """
+        twin = PTE(
+            vpn=self.vpn,
+            ppn=self.ppn,
+            page_size=self.page_size,
+            perms=self.perms,
+            accessed=self.accessed,
+            dirty=self.dirty,
+            present=self.present,
+        )
+        # Mutate *after* __post_init__ so the tag is stale by one flip.
+        setattr(twin, fld, getattr(twin, fld) ^ (1 << bit))
+        return twin
+
     def covers(self, vpn: int) -> bool:
         """Whether this entry translates the given 4 KB VPN."""
         return self.vpn <= vpn < self.vpn + self.page_size.pages_4k
@@ -148,7 +208,6 @@ class WalkResult:
         return len(self.accesses)
 
 
-class TranslationError(Exception):
-    """Raised when a translation scheme is asked to do something invalid
-    (double-map, unmap of an absent page, walk of an unmapped VPN when
-    the caller demanded success, ...)."""
+# ``TranslationError`` historically lived here; it is now defined in
+# :mod:`repro.errors` (re-exported above) so the whole exception
+# hierarchy shares one root.

@@ -1,0 +1,48 @@
+"""Shared pytest configuration: a dependency-free ``timeout`` marker.
+
+``pytest-timeout`` is not part of this repo's test dependencies; this
+hook implements the subset the suite needs — per-test wall-clock limits
+on Unix via SIGALRM.  If the real plugin is installed it takes over and
+this fallback backs off.  On platforms without SIGALRM the marker is a
+no-op (the limit is a chaos-harness safety net, not a correctness
+assertion).
+"""
+
+import signal
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the limit",
+    )
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark-style test"
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    limit = marker.args[0] if marker and marker.args else None
+    use_alarm = (
+        limit is not None
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _expire(signum, frame):
+        pytest.fail(f"test exceeded the {limit}s timeout", pytrace=False)
+
+    old_handler = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, float(limit))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)

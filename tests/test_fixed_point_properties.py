@@ -1,0 +1,162 @@
+"""Property-based tests for the Q44.20 fixed-point format.
+
+Uses hypothesis to check the algebraic contracts the learned-index
+walker depends on: encode/decode round trips, floor semantics,
+saturation at the format limits, and the free-function fast path
+(``linear_predict``) agreeing with the object arithmetic.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.fixed_point import (  # noqa: E402
+    FRACTION_BITS,
+    MAX_INT,
+    MAX_RAW,
+    MIN_INT,
+    MIN_RAW,
+    SCALE,
+    FixedPoint,
+    FixedPointOverflow,
+    from_float_saturating,
+    linear_predict,
+    quantize,
+    quantize_saturating,
+    saturate_raw,
+)
+
+raw_values = st.integers(min_value=MIN_RAW, max_value=MAX_RAW)
+int_values = st.integers(min_value=MIN_INT, max_value=MAX_INT)
+# Floats that stay far enough inside the format that rounding cannot
+# push them over the edge.
+safe_floats = st.floats(
+    min_value=-(2.0 ** 40), max_value=2.0 ** 40,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+class TestRoundTrips:
+    @given(raw_values)
+    def test_raw_round_trip(self, raw):
+        assert FixedPoint.from_raw(raw).raw == raw
+
+    @given(int_values)
+    def test_int_round_trip(self, value):
+        fp = FixedPoint.from_int(value)
+        assert fp.floor() == value
+        assert fp.to_float() == float(value)
+
+    @given(safe_floats)
+    def test_float_round_trip_within_quantum(self, value):
+        fp = FixedPoint.from_float(value)
+        # Quantization error is at most half a fractional step.
+        assert abs(fp.to_float() - value) <= 0.5 / SCALE
+
+    @given(safe_floats)
+    def test_quantize_matches_constructor(self, value):
+        assert quantize(value) == FixedPoint.from_float(value).raw
+
+    @given(raw_values)
+    def test_floor_is_arithmetic_shift(self, raw):
+        assert FixedPoint.from_raw(raw).floor() == raw >> FRACTION_BITS
+
+
+class TestOverflow:
+    @given(st.integers(min_value=MAX_RAW + 1, max_value=MAX_RAW * 4))
+    def test_from_raw_rejects_above(self, raw):
+        with pytest.raises(FixedPointOverflow):
+            FixedPoint.from_raw(raw)
+
+    @given(st.integers(min_value=MIN_RAW * 4, max_value=MIN_RAW - 1))
+    def test_from_raw_rejects_below(self, raw):
+        with pytest.raises(FixedPointOverflow):
+            FixedPoint.from_raw(raw)
+
+    def test_exact_bounds_accepted(self):
+        assert FixedPoint.from_raw(MAX_RAW).raw == MAX_RAW
+        assert FixedPoint.from_raw(MIN_RAW).raw == MIN_RAW
+        assert FixedPoint.from_int(MAX_INT).floor() == MAX_INT
+        assert FixedPoint.from_int(MIN_INT).floor() == MIN_INT
+
+    @given(st.integers(min_value=MIN_RAW * 8, max_value=MAX_RAW * 8))
+    def test_saturate_raw_clamps(self, raw):
+        sat = saturate_raw(raw)
+        assert MIN_RAW <= sat <= MAX_RAW
+        if MIN_RAW <= raw <= MAX_RAW:
+            assert sat == raw
+        else:
+            assert sat in (MIN_RAW, MAX_RAW)
+
+    @given(st.floats(min_value=-(2.0 ** 60), max_value=2.0 ** 60,
+                     allow_nan=False, allow_infinity=False))
+    def test_quantize_saturating_never_raises(self, value):
+        raw = quantize_saturating(value)
+        assert MIN_RAW <= raw <= MAX_RAW
+        assert from_float_saturating(value).raw == raw
+
+    @given(safe_floats)
+    def test_saturating_agrees_in_range(self, value):
+        assert quantize_saturating(value) == quantize(value)
+
+
+class TestArithmetic:
+    @given(raw_values, raw_values)
+    def test_add_sub_inverse(self, a, b):
+        fa, fb = FixedPoint.from_raw(a), FixedPoint.from_raw(b)
+        try:
+            total = fa + fb
+        except FixedPointOverflow:
+            assert not MIN_RAW <= a + b <= MAX_RAW
+            return
+        assert (total - fb).raw == a
+
+    @given(
+        st.integers(min_value=-(1 << 31), max_value=1 << 31),
+        st.integers(min_value=-(1 << 31), max_value=1 << 31),
+        st.integers(min_value=0, max_value=(1 << 30)),
+    )
+    @settings(max_examples=50)
+    def test_linear_predict_matches_object_path(self, slope, intercept, x):
+        predicted = linear_predict(slope, intercept, x)
+        fp = FixedPoint.from_raw(slope).mul_int(x) + FixedPoint.from_raw(intercept)
+        assert predicted == fp.floor()
+
+
+class TestDeterminism:
+    """Identical seeds must reproduce identical results (ISSUE criteria)."""
+
+    def test_same_workload_seed_same_resultset(self):
+        from repro.sim import SimConfig, run_suite
+
+        def one_run():
+            config = SimConfig(num_refs=2_000, workload_seed=7)
+            rs = run_suite(
+                workload_names=["gups"], schemes=("lvm",),
+                page_modes=(False,), config=config,
+            )
+            r = rs.results[0]
+            return (r.cycles, r.mmu_cycles, r.walk_traffic, r.index_size_bytes)
+
+        assert one_run() == one_run()
+
+    def test_same_fault_seed_same_injections(self):
+        from repro.faults import FaultKind, FaultPlan
+        from repro.sim import SimConfig, run_suite
+
+        def one_run():
+            plan = FaultPlan.single(FaultKind.MODEL_PERTURB, rate=5e-3, seed=3)
+            config = SimConfig(num_refs=2_000, faults=plan)
+            rs = run_suite(
+                workload_names=["gups"], schemes=("lvm",),
+                page_modes=(False,), config=config,
+            )
+            r = rs.results[0]
+            return (r.cycles, r.faults_injected, r.recoveries,
+                    r.recovery_cycles)
+
+        first, second = one_run(), one_run()
+        assert first == second
+        assert first[1] > 0  # the plan actually fired

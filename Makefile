@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 REFS ?= 20000
+JOBS ?= 4
 
-.PHONY: install test bench figures quicktest lint chaos clean loc
+.PHONY: install test bench bench-figures figures quicktest lint chaos clean loc
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -32,7 +33,14 @@ chaos:
 	$(PYTHON) -m pytest tests/test_faults_unit.py tests/test_faults_chaos.py -q
 	$(PYTHON) -m repro chaos --refs $(REFS) --fault-rate 1e-3
 
+# Sweep-engine benchmark: serial vs parallel vs TLB fast path.
+# Refreshes BENCH_sweep.json at the repo root.
 bench:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) benchmarks/bench_sweep.py \
+		--refs $(REFS) --jobs $(JOBS)
+
+# The paper's tables and figures via pytest-benchmark.
+bench-figures:
 	REPRO_REFS=$(REFS) $(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
 
 figures:

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Sweep-engine benchmark: serial vs parallel vs TLB fast path.
+
+Times three things and writes ``BENCH_sweep.json`` at the repo root:
+
+1. **Single-run translate loop** — refs/sec with the L1 front index
+   (``TLBConfig.front_index``) off vs on, per workload.  This A/Bs the
+   hot-path optimisation inside one process; results are bit-identical
+   either way (asserted here on every run).
+2. **Serial sweep** — ``run_suite(jobs=1)`` wall seconds over the
+   chosen (workload × scheme × thp) grid.
+3. **Parallel sweep** — the same grid with ``jobs=N`` worker
+   processes, plus an assertion that the ResultSet matches the serial
+   one field for field.
+
+Not a pytest file on purpose: wall-clock comparisons want a quiet,
+sequential process, not pytest's collection order.  Run via
+``make bench`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --refs 50000 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import run_suite
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import build_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
+# bfs exercises the L1 fast path (~50% L1-4K hit rate under the scaled
+# TLBs); gups is the adversarial case (every reference misses, so the
+# front index only pays maintenance).  Together they bound the effect.
+DEFAULT_WORKLOADS = ("bfs", "gups")
+DEFAULT_SCHEMES = ("radix", "ecpt", "lvm")
+BEST_OF = 3
+
+
+def _time_single_run(workload, refs: int, front: bool):
+    """One simulator run; returns (refs/sec, wall seconds, result)."""
+    cfg = SimConfig(num_refs=refs)
+    cfg.tlb.front_index = front
+    sim = Simulator("radix", workload, cfg)
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
+    return refs / wall, wall, result
+
+
+def bench_fastpath(workloads, refs: int) -> dict:
+    """A/B the front-index fast path, asserting bit-identity.
+
+    The workload (and its memoized trace) is built once and shared, a
+    warm-up run absorbs one-time costs, and each variant keeps its
+    best of ``BEST_OF`` runs — wall-clock on a busy box is noisy and
+    we are comparing code paths, not machine load.
+    """
+    rows = []
+    for name in workloads:
+        workload = build_workload(name, scale=64, seed=0)
+        _time_single_run(workload, refs, front=True)  # warm-up
+        base_rate = base_wall = fast_rate = fast_wall = None
+        base_res = fast_res = None
+        for _ in range(BEST_OF):
+            rate, wall, base_res = _time_single_run(workload, refs, front=False)
+            if base_rate is None or rate > base_rate:
+                base_rate, base_wall = rate, wall
+            rate, wall, fast_res = _time_single_run(workload, refs, front=True)
+            if fast_rate is None or rate > fast_rate:
+                fast_rate, fast_wall = rate, wall
+        if asdict(base_res) != asdict(fast_res):
+            raise AssertionError(
+                f"front index changed results for {name} — refusing to "
+                "report a speedup that buys the wrong numbers"
+            )
+        rows.append(
+            {
+                "workload": name,
+                "baseline_refs_per_sec": round(base_rate, 1),
+                "fastpath_refs_per_sec": round(fast_rate, 1),
+                "baseline_wall_seconds": round(base_wall, 3),
+                "fastpath_wall_seconds": round(fast_wall, 3),
+                "speedup": round(fast_rate / base_rate, 3),
+            }
+        )
+        print(
+            f"  fastpath {name:8s} {base_rate:9.0f} -> {fast_rate:9.0f} "
+            f"refs/s  ({fast_rate / base_rate:.2f}x)"
+        )
+    return {"scheme": "radix", "refs": refs, "runs": rows}
+
+
+def bench_sweep(workloads, schemes, refs: int, jobs: int) -> dict:
+    """Serial vs parallel sweep over the full grid, asserting identity."""
+    cfg = SimConfig(num_refs=refs)
+    grid = len(workloads) * len(schemes) * 2  # thp off + on
+
+    start = time.perf_counter()
+    serial = run_suite(list(workloads), list(schemes), config=cfg)
+    serial_wall = time.perf_counter() - start
+    print(f"  serial   {grid} runs in {serial_wall:.2f}s")
+
+    start = time.perf_counter()
+    parallel = run_suite(list(workloads), list(schemes), config=cfg, jobs=jobs)
+    parallel_wall = time.perf_counter() - start
+    print(f"  jobs={jobs}   {grid} runs in {parallel_wall:.2f}s")
+
+    for a, b in zip(serial.results, parallel.results):
+        if asdict(a) != asdict(b):
+            raise AssertionError(
+                f"parallel sweep diverged on ({a.workload}, {a.scheme}) — "
+                "refusing to report a speedup that buys the wrong numbers"
+            )
+
+    total_refs = refs * grid
+    return {
+        "grid_runs": grid,
+        "refs_per_run": refs,
+        "jobs": jobs,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel_wall, 3),
+        "serial_refs_per_sec": round(total_refs / serial_wall, 1),
+        "parallel_refs_per_sec": round(total_refs / parallel_wall, 1),
+        "speedup": round(serial_wall / parallel_wall, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--refs", type=int, default=50_000, help="references per run"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker processes for the parallel sweep",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_WORKLOADS),
+        help="workload names to sweep",
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(DEFAULT_SCHEMES),
+        help="translation schemes to sweep",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    print(f"bench_sweep: {cpus} CPU(s) visible, jobs={args.jobs}")
+    if args.jobs > cpus:
+        print(
+            f"  note: jobs={args.jobs} exceeds visible CPUs ({cpus}); "
+            "the parallel sweep cannot beat serial on this machine"
+        )
+
+    print("single-run fast path (front index off vs on):")
+    fastpath = bench_fastpath(args.workloads, args.refs)
+    print("sweep (serial vs parallel, identical grids):")
+    sweep = bench_sweep(args.workloads, args.schemes, args.refs, args.jobs)
+
+    payload = {
+        "cpu_count": cpus,
+        "refs_per_run": args.refs,
+        "workloads": list(args.workloads),
+        "schemes": list(args.schemes),
+        "fastpath": fastpath,
+        "sweep": sweep,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,7 @@ from repro.analysis import (
 )
 from repro.errors import ConfigError, ReproError
 from repro.faults import FaultKind, FaultPlan
-from repro.sim import SimConfig, mean, run_suite, table1_rows
+from repro.sim import SimConfig, default_jobs, mean, run_suite, table1_rows
 from repro.workloads import SUITE
 
 
@@ -54,11 +54,15 @@ def _suite_results(args):
     config = SimConfig(num_refs=args.refs)
     config.validate()  # reject bad --refs etc. before the sweep starts
     names = args.workloads.split(",") if args.workloads else None
+    jobs = args.jobs
     print(f"running sweep: {names or SUITE} x (radix, ecpt, lvm, ideal) "
-          f"x (4KB, THP), {args.refs} refs each...", file=sys.stderr)
+          f"x (4KB, THP), {args.refs} refs each"
+          + (f", {jobs} worker processes" if jobs > 1 else "")
+          + "...", file=sys.stderr)
     results = run_suite(
         workload_names=names, config=config, verbose=args.verbose,
         on_error="raise" if args.fail_fast else "collect",
+        jobs=jobs,
     )
     _report_failures(results)
     return results
@@ -231,6 +235,7 @@ def cmd_chaos(args) -> None:
             workload_names=names, schemes=("lvm",), page_modes=(False,),
             config=config, verbose=args.verbose,
             on_error="raise" if args.fail_fast else "collect",
+            jobs=args.jobs,
         )
         _report_failures(results)
         for r in results.results:
@@ -282,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", default=None,
         help="comma-separated workload subset (default: the full suite)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=default_jobs(),
+        help="worker processes for sweep commands; 1 = in-process serial "
+             "run (default: $REPRO_JOBS or 1); results are bit-identical "
+             "at any job count",
     )
     parser.add_argument(
         "--fail-fast", action="store_true",

@@ -32,6 +32,16 @@ class Cache:
         self.latency = latency
         self.line_size = line_size
         self.num_sets = size_bytes // (ways * line_size)
+        # Hot-path constants: line addressing is a shift when the line
+        # size is a power of two (it always is in practice).
+        self._line_shift = (
+            line_size.bit_length() - 1 if line_size & (line_size - 1) == 0 else None
+        )
+        # Subclasses (e.g. the learned-set-index cache in
+        # repro.extensions) customise placement by overriding
+        # ``_locate``; the inlined fast path below is only valid for
+        # the stock modulo mapping.
+        self._stock_locate = type(self)._locate is Cache._locate
         # set index -> {tag: None} insertion-ordered (LRU at front)
         self._sets: Dict[int, Dict[int, None]] = {}
         self.hits = 0
@@ -40,12 +50,24 @@ class Cache:
         self.walk_misses = 0
 
     def _locate(self, paddr: int):
-        line = paddr // self.line_size
+        if self._line_shift is not None:
+            line = paddr >> self._line_shift
+        else:
+            line = paddr // self.line_size
         return line % self.num_sets, line // self.num_sets
 
     def access(self, paddr: int, is_walk: bool = False) -> bool:
         """Touch a line; returns True on hit.  Fills on miss."""
-        set_idx, tag = self._locate(paddr)
+        # ``_locate`` inlined: this runs several times per simulated
+        # reference (demand access + walk accesses, three levels each).
+        if self._stock_locate:
+            shift = self._line_shift
+            line = paddr >> shift if shift is not None else paddr // self.line_size
+            num_sets = self.num_sets
+            set_idx = line % num_sets
+            tag = line // num_sets
+        else:
+            set_idx, tag = self._locate(paddr)
         cache_set = self._sets.get(set_idx)
         if cache_set is None:
             cache_set = {}
@@ -64,6 +86,26 @@ class Cache:
             cache_set.pop(next(iter(cache_set)))
         cache_set[tag] = None
         return False
+
+    def fill(self, paddr: int) -> None:
+        """Install a line without charging latency or touching the
+        hit/miss counters (prefetcher-style fill).  Replacement follows
+        the same LRU policy as a demand fill: a line already present
+        moves to MRU, otherwise the LRU way is evicted."""
+        if self._stock_locate:
+            shift = self._line_shift
+            line = paddr >> shift if shift is not None else paddr // self.line_size
+            num_sets = self.num_sets
+            set_idx = line % num_sets
+            tag = line // num_sets
+        else:
+            set_idx, tag = self._locate(paddr)
+        cache_set = self._sets.setdefault(set_idx, {})
+        if tag in cache_set:
+            del cache_set[tag]
+        elif len(cache_set) >= self.ways:
+            cache_set.pop(next(iter(cache_set)))
+        cache_set[tag] = None
 
     def contains(self, paddr: int) -> bool:
         set_idx, tag = self._locate(paddr)

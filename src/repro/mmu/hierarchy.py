@@ -8,7 +8,7 @@ walkers connect at the L2 by default (the paper's baseline); section
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.mmu.cache import Cache
@@ -84,20 +84,18 @@ class HierarchyConfig:
         where page-table entries and upper-level nodes actually hit.
         """
         base = HierarchyConfig()
+
         def shrink(size: int, ways: int) -> int:
             return max(ways * 64 * 4, size // factor)
-        return HierarchyConfig(
+
+        # ``replace`` keeps every non-size field (latencies,
+        # walker_entry, prefetch_degree, anything added later) at the
+        # base value instead of silently re-defaulting it.
+        return replace(
+            base,
             l1_size=shrink(base.l1_size, base.l1_ways),
-            l1_ways=base.l1_ways,
-            l1_latency=base.l1_latency,
             l2_size=shrink(base.l2_size, base.l2_ways),
-            l2_ways=base.l2_ways,
-            l2_latency=base.l2_latency,
             l3_size=shrink(base.l3_size, base.l3_ways),
-            l3_ways=base.l3_ways,
-            l3_latency=base.l3_latency,
-            dram_latency=base.dram_latency,
-            walker_entry=base.walker_entry,
         )
 
 
@@ -111,32 +109,52 @@ class MemoryHierarchy:
         self.l2 = Cache("L2", c.l2_size, c.l2_ways, c.l2_latency)
         self.l3 = Cache("L3", c.l3_size, c.l3_ways, c.l3_latency)
         self.dram_accesses = 0
+        # Hot-path constants: the lookup chains per entry point (built
+        # once, not per access) and the flat DRAM miss latency.
+        self._chains = {
+            "l1": (self.l1, self.l2, self.l3),
+            "l2": (self.l2, self.l3),
+            "l3": (self.l3,),
+        }
+        self._dram_latency = c.l3_latency + c.dram_latency
+        self._do_prefetch = c.prefetch_degree > 0
+        self._walker_entry = c.walker_entry
 
     def _chain(self, entry: str) -> List[Cache]:
-        if entry == "l1":
-            return [self.l1, self.l2, self.l3]
-        if entry == "l2":
-            return [self.l2, self.l3]
-        if entry == "l3":
-            return [self.l3]
-        raise ValueError(f"unknown entry level {entry!r}")
+        try:
+            return list(self._chains[entry])
+        except KeyError:
+            raise ValueError(f"unknown entry level {entry!r}") from None
 
     def access(self, paddr: int, entry: str = "l1", is_walk: bool = False) -> int:
         """Access a physical address; returns latency in cycles."""
-        latency, _ = self.access_info(paddr, entry, is_walk)
-        return latency
+        try:
+            chain = self._chains[entry]
+        except KeyError:
+            raise ValueError(f"unknown entry level {entry!r}") from None
+        for cache in chain:
+            if cache.access(paddr, is_walk):
+                return cache.latency
+        self.dram_accesses += 1
+        if not is_walk and self._do_prefetch and entry == "l1":
+            self._prefetch(paddr)
+        return self._dram_latency
 
     def access_info(
         self, paddr: int, entry: str = "l1", is_walk: bool = False
     ) -> "tuple[int, str]":
         """Access a physical address; returns (latency, level hit)."""
-        for cache in self._chain(entry):
-            if cache.access(paddr, is_walk=is_walk):
+        try:
+            chain = self._chains[entry]
+        except KeyError:
+            raise ValueError(f"unknown entry level {entry!r}") from None
+        for cache in chain:
+            if cache.access(paddr, is_walk):
                 return cache.latency, cache.name
         self.dram_accesses += 1
-        if not is_walk and self.config.prefetch_degree > 0 and entry == "l1":
+        if not is_walk and self._do_prefetch and entry == "l1":
             self._prefetch(paddr)
-        return self.config.l3_latency + self.config.dram_latency, "DRAM"
+        return self._dram_latency, "DRAM"
 
     def _prefetch(self, paddr: int) -> None:
         """Next-line prefetch on a demand miss: fill the following
@@ -144,20 +162,16 @@ class MemoryHierarchy:
         stream; useless fills for random traffic just add mild
         pollution, as on real hardware)."""
         line = paddr - (paddr % 64)
+        l1, l2, l3 = self._chains["l1"]
         for step in range(1, self.config.prefetch_degree + 1):
             target = line + step * 64
-            for cache in (self.l1, self.l2, self.l3):
-                set_idx, tag = cache._locate(target)
-                cache_set = cache._sets.setdefault(set_idx, {})
-                if tag in cache_set:
-                    del cache_set[tag]
-                elif len(cache_set) >= cache.ways:
-                    cache_set.pop(next(iter(cache_set)))
-                cache_set[tag] = None
+            l1.fill(target)
+            l2.fill(target)
+            l3.fill(target)
 
     def walk_access(self, paddr: int) -> int:
         """A page-walk access, entering at the configured level."""
-        return self.access(paddr, entry=self.config.walker_entry, is_walk=True)
+        return self.access(paddr, self._walker_entry, True)
 
     def llc_would_hit(self, paddr: int) -> bool:
         """Non-destructive LLC presence check (used by the Midgard

@@ -8,7 +8,7 @@ its own VPN granularity) — exactly what x86 L1/L2 TLBs do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.types import PTE, PageSize
@@ -17,9 +17,20 @@ from repro.types import PTE, PageSize
 class TLBArray:
     """One set-associative TLB array for a single page size."""
 
-    def __init__(self, name: str, entries: int, ways: int, page_size: PageSize):
+    def __init__(
+        self,
+        name: str,
+        entries: int,
+        ways: int,
+        page_size: PageSize,
+        front_index: bool = False,
+    ):
         if entries < ways:
             raise ValueError(f"{name}: need at least one set")
+        if front_index and page_size is not PageSize.SIZE_4K:
+            # The front index maps base-page VPNs directly; only the
+            # 4 KB array has page_vpn == vpn.
+            raise ValueError(f"{name}: front index requires 4 KB pages")
         self.name = name
         self.entries = entries
         self.ways = ways
@@ -27,44 +38,76 @@ class TLBArray:
         # Table 1's 2048-entry 12-way geometry is not an exact multiple;
         # round the set count up as hardware's sectoring effectively does.
         self.num_sets = -(-entries // ways)
+        # Hot-path constant: base pages per entry of this array's size.
+        self._page_span = page_size.pages_4k
         self._sets: Dict[int, Dict[Tuple[int, int], PTE]] = {}
         self.hits = 0
         self.misses = 0
+        # Optional O(1) front index for the simulator's hot path:
+        # vpn -> (asid, pte, set dict, set key), kept exactly in sync
+        # with the array's contents (insert/evict/invalidate/flush).
+        # When two ASIDs map the same VPN the index keeps the latest
+        # insert; a mismatched hit simply falls back to the slow probe,
+        # so contents and stats stay bit-identical either way.
+        self.front: Optional[Dict[int, tuple]] = {} if front_index else None
 
     def _key(self, vpn: int, asid: int) -> Tuple[int, Tuple[int, int]]:
-        page_vpn = vpn // self.page_size.pages_4k
+        page_vpn = vpn // self._page_span
         return page_vpn % self.num_sets, (asid, page_vpn)
 
     def lookup(self, vpn: int, asid: int) -> Optional[PTE]:
-        set_idx, key = self._key(vpn, asid)
-        tlb_set = self._sets.get(set_idx)
-        if tlb_set is not None and key in tlb_set:
-            pte = tlb_set.pop(key)
-            tlb_set[key] = pte  # move to MRU
-            self.hits += 1
-            return pte
+        # ``_key`` inlined: this is probed up to four times per
+        # TLB-missing reference (two sizes, two levels).
+        page_vpn = vpn // self._page_span
+        tlb_set = self._sets.get(page_vpn % self.num_sets)
+        if tlb_set is not None:
+            key = (asid, page_vpn)
+            pte = tlb_set.get(key)
+            if pte is not None:
+                del tlb_set[key]
+                tlb_set[key] = pte  # move to MRU
+                self.hits += 1
+                return pte
         self.misses += 1
         return None
 
     def insert(self, pte: PTE, asid: int) -> None:
-        set_idx, key = self._key(pte.vpn, asid)
-        tlb_set = self._sets.setdefault(set_idx, {})
+        front = self.front
+        page_vpn = pte.vpn // self._page_span
+        key = (asid, page_vpn)
+        tlb_set = self._sets.setdefault(page_vpn % self.num_sets, {})
         if key in tlb_set:
             del tlb_set[key]
         elif len(tlb_set) >= self.ways:
-            tlb_set.pop(next(iter(tlb_set)))
+            victim = next(iter(tlb_set))
+            del tlb_set[victim]
+            if front is not None:
+                entry = front.get(victim[1])
+                if entry is not None and entry[0] == victim[0]:
+                    del front[victim[1]]
         tlb_set[key] = pte
+        if front is not None:
+            front[key[1]] = (asid, pte, tlb_set, key)
 
     def invalidate(self, vpn: int, asid: int) -> None:
         set_idx, key = self._key(vpn, asid)
         tlb_set = self._sets.get(set_idx)
         if tlb_set is not None:
             tlb_set.pop(key, None)
+        front = self.front
+        if front is not None:
+            entry = front.get(key[1])
+            if entry is not None and entry[0] == asid:
+                del front[key[1]]
 
     def flush_asid(self, asid: int) -> None:
         for tlb_set in self._sets.values():
             for key in [k for k in tlb_set if k[0] == asid]:
                 del tlb_set[key]
+        front = self.front
+        if front is not None:
+            for vpn in [v for v, entry in front.items() if entry[0] == asid]:
+                del front[vpn]
 
     @property
     def accesses(self) -> int:
@@ -86,6 +129,11 @@ class TLBConfig:
     l2_entries_per_size: int = 2048
     l2_ways: int = 12
     l2_latency: int = 7  # cycles to deliver a hit from the L2 TLB
+    # Simulator-only speed knob: keep a direct VPN index in front of
+    # the L1 4 KB array so the common L1-hit case is one dict probe.
+    # Purely an implementation detail of the model — results are
+    # bit-identical either way (benchmarks/bench_sweep.py A/Bs it).
+    front_index: bool = True
 
     def validate(self) -> None:
         """Reject impossible TLB geometries with a clear message."""
@@ -125,14 +173,15 @@ class TLBConfig:
         Scaling reach preserves the paper's miss-rate regime.
         """
         base = TLBConfig()
-        return TLBConfig(
+        # ``replace`` keeps every field not named here (latency, the
+        # front-index knob, anything added later) at the base value.
+        return replace(
+            base,
             l1_4k_entries=max(8, base.l1_4k_entries // factor),
             l1_4k_ways=4,
             l1_2m_entries=max(4, base.l1_2m_entries // factor),
             l1_2m_ways=2,
             l2_entries_per_size=max(32, base.l2_entries_per_size // factor),
-            l2_ways=base.l2_ways,
-            l2_latency=base.l2_latency,
         )
 
 
@@ -144,7 +193,8 @@ class TLBHierarchy:
         self.config = c
         self.l1 = {
             PageSize.SIZE_4K: TLBArray(
-                "L1-4K", c.l1_4k_entries, c.l1_4k_ways, PageSize.SIZE_4K
+                "L1-4K", c.l1_4k_entries, c.l1_4k_ways, PageSize.SIZE_4K,
+                front_index=c.front_index,
             ),
             PageSize.SIZE_2M: TLBArray(
                 "L1-2M", c.l1_2m_entries, c.l1_2m_ways, PageSize.SIZE_2M
@@ -158,6 +208,15 @@ class TLBHierarchy:
         }
         # 1 GB pages share the 2 MB arrays in this model (x86 parts
         # vary; Table 1 lists no separate 1 GB TLB).
+        # Hot-path constants: probe order (4K first, as ``lookup``
+        # iterates) without per-lookup dict indexing.
+        self._l1_probe = (
+            self.l1[PageSize.SIZE_4K], self.l1[PageSize.SIZE_2M]
+        )
+        self._l2_probe = (
+            self.l2[PageSize.SIZE_4K], self.l2[PageSize.SIZE_2M]
+        )
+        self._l2_latency = c.l2_latency
 
     def _arrays_for(self, size: PageSize):
         if size is PageSize.SIZE_1G:
@@ -166,17 +225,17 @@ class TLBHierarchy:
 
     def lookup(self, vpn: int, asid: int) -> Tuple[Optional[PTE], int]:
         """Probe L1 then L2 for all sizes; returns (pte, latency)."""
-        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
-            pte = self.l1[size].lookup(vpn, asid)
+        for arr in self._l1_probe:
+            pte = arr.lookup(vpn, asid)
             if pte is not None and pte.covers(vpn):
                 return pte, 0
-        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M):
-            pte = self.l2[size].lookup(vpn, asid)
+        for arr in self._l2_probe:
+            pte = arr.lookup(vpn, asid)
             if pte is not None and pte.covers(vpn):
                 l1_arr, _ = self._arrays_for(pte.page_size)
                 l1_arr.insert(pte, asid)
-                return pte, self.config.l2_latency
-        return None, self.config.l2_latency
+                return pte, self._l2_latency
+        return None, self._l2_latency
 
     def insert(self, pte: PTE, asid: int) -> None:
         l1_arr, l2_arr = self._arrays_for(pte.page_size)

@@ -108,33 +108,37 @@ class RadixPWC:
 
     LEVELS = (4, 3, 2)  # PML4E / PDPTE / PDE
 
+    _SHIFTS = {4: 27, 3: 18, 2: 9}
+
     def __init__(self, entries_per_level: int = 32, latency: int = 2):
         self.latency = latency
         self.levels: Dict[int, _LRUSet] = {
             lvl: _LRUSet(f"PWC-L{lvl}", entries_per_level, latency)
             for lvl in self.LEVELS
         }
+        # Hot-path constant: (level, shift, LRU set) deepest-first, so
+        # the per-walk probe avoids two dict lookups per level.
+        self._probe_order = tuple(
+            (lvl, self._SHIFTS[lvl], self.levels[lvl]) for lvl in (2, 3, 4)
+        )
 
-    @staticmethod
-    def _key(vpn: int, level: int, asid: int) -> Tuple[int, int]:
-        shift = {4: 27, 3: 18, 2: 9}[level]
-        return (asid, vpn >> shift)
+    @classmethod
+    def _key(cls, vpn: int, level: int, asid: int) -> Tuple[int, int]:
+        return (asid, vpn >> cls._SHIFTS[level])
 
     def lowest_cached_level(self, vpn: int, asid: int) -> Optional[int]:
         """Deepest radix level whose entry the PWC holds: the walk can
         start below it.  Probes run deepest-first, as real PWCs do."""
-        best: Optional[int] = None
-        for level in (2, 3, 4):
-            if self.levels[level].lookup(self._key(vpn, level, asid)):
-                best = level
-                break
-        return best
+        for level, shift, lru in self._probe_order:
+            if lru.lookup((asid, vpn >> shift)):
+                return level
+        return None
 
     def fill(self, vpn: int, asid: int, upto_level: int) -> None:
         """Install entries for levels walked (4 down to `upto_level`)."""
-        for level in self.LEVELS:
+        for level, shift, lru in self._probe_order:
             if level >= upto_level:
-                self.levels[level].insert(self._key(vpn, level, asid))
+                lru.insert((asid, vpn >> shift))
 
     def flush_asid(self, asid: int) -> None:
         for lru in self.levels.values():

@@ -48,23 +48,29 @@ class RadixWalker:
         self.total_cycles = 0
         self.total_accesses = 0
         self.poison_detections = 0
+        # Cumulative PWC-detection snapshot: detections only ever happen
+        # inside ``walk`` (during the PWC probe), so one delta per walk
+        # replaces the before/after property-call pair on the hot path.
+        self._poison_seen = self.pwc.poison_detections
 
     def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
         result = self.table.walk(vpn)
-        poison_before = self.pwc.poison_detections
         lowest = self.pwc.lowest_cached_level(vpn, asid)
         cycles = self.pwc.latency
         # A parity trip costs the dead probe before the walk restarts
         # below the invalidated entry.
-        detected = self.pwc.poison_detections - poison_before
+        poison_now = self.pwc.poison_detections
+        detected = poison_now - self._poison_seen
         if detected:
+            self._poison_seen = poison_now
             self.poison_detections += detected
             cycles += detected * self.pwc.latency
         issued = 0
+        walk_access = self.hierarchy.walk_access
         for access in result.accesses:
             if lowest is not None and access.level >= lowest:
                 continue  # served by the PWC
-            cycles += self.hierarchy.walk_access(access.paddr)
+            cycles += walk_access(access.paddr)
             issued += 1
         # Fill the PWC with the non-leaf entries this walk traversed.
         if len(result.accesses) > 1:
@@ -105,10 +111,12 @@ class ECPTWalker:
         self.total_cycles = 0
         self.total_accesses = 0
         self.poison_detections = 0
+        # See RadixWalker: one cumulative snapshot per walk instead of a
+        # before/after property-call pair.
+        self._poison_seen = self.cwc.poison_detections
 
     def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
         result = self.table.walk(vpn)
-        poison_before = self.cwc.poison_detections
         cycles = self.cwc.latency
         issued = 0
         # CWT consults on CWC miss: the PUD entry always, the PMD entry
@@ -142,8 +150,10 @@ class ECPTWalker:
                 probe_latency, self.hierarchy.walk_access(access.paddr)
             )
             issued += 1
-        detected = self.cwc.poison_detections - poison_before
+        poison_now = self.cwc.poison_detections
+        detected = poison_now - self._poison_seen
         if detected:
+            self._poison_seen = poison_now
             self.poison_detections += detected
             cycles += detected * self.cwc.latency
         cycles += cwt_latency + probe_latency
@@ -172,6 +182,9 @@ class LVMWalker:
         self.recovered_walks = 0
         self.recovery_cycles = 0
         self._seen_flushes = index.stats.lwc_flushes
+        # See RadixWalker: one cumulative snapshot per walk instead of a
+        # before/after property-call pair.
+        self._poison_seen = self.lwc.poison_detections
 
     def _sync_flushes(self, asid: int) -> None:
         """Apply OS-requested LWC flushes (after node retrains)."""
@@ -186,23 +199,26 @@ class LVMWalker:
         # before charging the walk so its node fetches see the
         # post-repair state.
         self._sync_flushes(asid)
-        poison_before = self.lwc.poison_detections
         cycles = 0
         issued = 0
+        lwc = self.lwc
+        walk_access = self.hierarchy.walk_access
         for level, offset, paddr in trace.node_accesses:
             # Model evaluation + LWC lookup: 2 cycles (section 7.4).
-            cycles += self.lwc.latency
-            if not self.lwc.lookup(asid, level, offset):
-                cycles += self.hierarchy.walk_access(paddr)
+            cycles += lwc.latency
+            if not lwc.lookup(asid, level, offset):
+                cycles += walk_access(paddr)
                 issued += 1
-                self.lwc.fill_line(asid, level, offset)
+                lwc.fill_line(asid, level, offset)
         for paddr in trace.pte_line_paddrs:
-            cycles += self.hierarchy.walk_access(paddr)
+            cycles += walk_access(paddr)
             issued += 1
-        detected = self.lwc.poison_detections - poison_before
+        poison_now = lwc.poison_detections
+        detected = poison_now - self._poison_seen
         if detected:
+            self._poison_seen = poison_now
             self.poison_detections += detected
-            cycles += detected * self.lwc.latency
+            cycles += detected * lwc.latency
         if trace.recovered:
             self.recovered_walks += 1
             # The degradation ladder's extra line fetches are already in

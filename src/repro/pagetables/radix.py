@@ -31,6 +31,13 @@ LEVELS = (4, 3, 2, 1)
 _SHIFTS = {4: 27, 3: 18, 2: 9, 1: 0}
 _HUGE_LEVEL = {PageSize.SIZE_1G: 3, PageSize.SIZE_2M: 2, PageSize.SIZE_4K: 1}
 
+# Walk-loop constant: (level, shift, access kind) per step, so the hot
+# walk avoids a dict lookup and a conditional per level.
+_WALK_STEPS = tuple(
+    (level, _SHIFTS[level], AccessKind.PT_LEAF if level == 1 else AccessKind.PT_NODE)
+    for level in LEVELS
+)
+
 
 def level_index(vpn: int, level: int) -> int:
     """9-bit table index of a 4 KB VPN at a given radix level."""
@@ -115,17 +122,15 @@ class RadixPageTable:
     # -- walking -----------------------------------------------------
     def walk(self, vpn: int) -> WalkResult:
         accesses = []
+        append = accesses.append
         table = self.root
-        for level in LEVELS:
-            index = level_index(vpn, level)
-            kind = AccessKind.PT_LEAF if level == 1 else AccessKind.PT_NODE
-            accesses.append(
-                WalkAccess(table.entry_paddr(index), kind, level=level)
-            )
+        for level, shift, kind in _WALK_STEPS:
+            index = (vpn >> shift) & 511
+            append(WalkAccess(table.paddr + index * ENTRY_BYTES, kind, level))
             entry = table.entries.get(index)
             if entry is None:
                 return WalkResult(None, accesses)
-            if isinstance(entry, PTE):
+            if entry.__class__ is PTE:
                 return WalkResult(entry, accesses)
             table = entry
         return WalkResult(None, accesses)

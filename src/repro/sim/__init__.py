@@ -8,6 +8,7 @@ from repro.sim.config import (
     SimConfig,
     table1_rows,
 )
+from repro.sim.parallel import RunSpec, default_jobs
 from repro.sim.results import ResultSet, RunFailure, SimResult, geomean, mean
 from repro.sim.runner import run_suite, summarize_speedups
 from repro.sim.simulator import Simulator, simulate
@@ -18,10 +19,12 @@ __all__ = [
     "LVMCostModel",
     "ResultSet",
     "RunFailure",
+    "RunSpec",
     "SCHEMES",
     "SimConfig",
     "SimResult",
     "Simulator",
+    "default_jobs",
     "geomean",
     "mean",
     "run_suite",

@@ -1,0 +1,193 @@
+"""Parallel sweep engine: fan (workload × scheme × THP) runs across
+worker processes.
+
+The sweep behind every figure is embarrassingly parallel — each
+(workload, scheme, thp) combination builds its own simulator state —
+so ``run_suite(..., jobs=N)`` dispatches picklable :class:`RunSpec`
+descriptions to a :class:`~concurrent.futures.ProcessPoolExecutor`
+instead of shipping live simulators (page tables, walkers and trace
+closures do not pickle, and rebuilding them in the worker is exactly
+what the serial path does anyway).
+
+Guarantees, in order of importance:
+
+* **Bit-identical results.**  A worker rebuilds the workload from the
+  same (name, scale, seed) triple and runs the same ``Simulator`` on a
+  config cloned the same way the serial loop clones it; every RNG in
+  the pipeline is seeded, so the :class:`SimResult` fields match the
+  serial run exactly.
+* **Deterministic order.**  Results are reassembled in spec order, not
+  completion order, so ``ResultSet.results`` (and ``failures``) are
+  indistinguishable from a serial sweep.
+* **Serial error semantics.**  A :class:`ReproError` inside a worker is
+  returned as a value (never crashes the pool) and either re-raised in
+  the parent (``on_error="raise"``) or recorded via
+  ``ResultSet.add_failure`` in spec order (``on_error="collect"``).
+  Any other exception is a genuine bug and propagates.
+
+Workers cache built workloads in a module global keyed by (name,
+scale, seed): the first spec touching a workload pays the build cost,
+subsequent specs in the same worker reuse it — mirroring the serial
+path's build-once-per-name dictionary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, ReproError
+from repro.sim.config import SimConfig
+from repro.sim.results import ResultSet
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import (
+    PRODUCTION_WORKLOADS,
+    SUITE,
+    WORKLOADS,
+    BuiltWorkload,
+    build_workload,
+)
+
+__all__ = ["RunSpec", "default_jobs", "make_specs", "run_specs_parallel"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, scheme, thp) run, described by values that pickle.
+
+    ``config`` is the sweep's *base* config; the worker clones it with
+    ``thp`` applied, exactly like the serial loop, so a spec stays a
+    pure description and the clone point is identical in both paths.
+    """
+
+    workload: str
+    scheme: str
+    thp: bool
+    scale: int
+    workload_seed: int
+    config: SimConfig = field(repr=False)
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def make_specs(
+    names: Sequence[str],
+    schemes: Sequence[str],
+    page_modes: Sequence[bool],
+    config: SimConfig,
+) -> List[RunSpec]:
+    """Spec list in the serial sweep's nesting order (thp, name, scheme).
+
+    Unknown workload names are rejected here — before any worker forks —
+    with the same :class:`ConfigError` the serial build step raises.
+    """
+    for name in names:
+        if name not in WORKLOADS and name not in PRODUCTION_WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {name!r}; choose from "
+                f"{SUITE + list(PRODUCTION_WORKLOADS)}"
+            )
+    return [
+        RunSpec(
+            workload=name,
+            scheme=scheme,
+            thp=thp,
+            scale=config.footprint_scale,
+            workload_seed=config.workload_seed,
+            config=config,
+        )
+        for thp in page_modes
+        for name in names
+        for scheme in schemes
+    ]
+
+
+# Per-worker-process workload cache; (name, scale, seed) -> workload.
+# Module-global so it survives across tasks within one worker but is
+# never shared between processes.
+_WORKER_WORKLOADS: Dict[tuple, BuiltWorkload] = {}
+
+
+def _worker_run(spec: RunSpec):
+    """Execute one spec in a worker; returns ("ok", result) or
+    ("error", ReproError).  Non-ReproError exceptions escape on purpose
+    (the parent re-raises them as genuine bugs)."""
+    key = (spec.workload, spec.scale, spec.workload_seed)
+    built = _WORKER_WORKLOADS.get(key)
+    if built is None:
+        built = build_workload(
+            spec.workload, scale=spec.scale, seed=spec.workload_seed
+        )
+        _WORKER_WORKLOADS[key] = built
+    cfg = spec.config.clone(thp=spec.thp)
+    try:
+        return "ok", Simulator(spec.scheme, built, cfg).run()
+    except ReproError as exc:
+        return "error", exc
+
+
+def run_specs_parallel(
+    specs: Sequence[RunSpec],
+    jobs: int,
+    on_error: str = "raise",
+    verbose: bool = False,
+) -> ResultSet:
+    """Run ``specs`` across ``jobs`` worker processes.
+
+    Futures complete in any order; outcomes are slotted by spec index
+    and folded into the :class:`ResultSet` in spec order, so the
+    returned set is field-for-field identical to the serial sweep's.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    outcomes: List[Optional[tuple]] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {
+            pool.submit(_worker_run, spec): idx
+            for idx, spec in enumerate(specs)
+        }
+        try:
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    idx = pending.pop(future)
+                    status, payload = future.result()  # non-ReproError raises
+                    outcomes[idx] = (status, payload)
+                    if status == "error" and on_error == "raise":
+                        raise payload
+                    if verbose:
+                        spec = specs[idx]
+                        if status == "ok":
+                            print(
+                                f"  {spec.workload:6s} {spec.scheme:7s} "
+                                f"thp={int(spec.thp)} "
+                                f"cycles={payload.cycles/1e6:8.2f}M "
+                                f"mmu={payload.mmu_cycles/1e6:6.2f}M "
+                                f"traffic={payload.walk_traffic:8d}"
+                            )
+                        else:
+                            print(
+                                f"  {spec.workload:6s} {spec.scheme:7s} "
+                                f"thp={int(spec.thp)} "
+                                f"FAILED: {type(payload).__name__}: {payload}"
+                            )
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+    results = ResultSet()
+    for spec, outcome in zip(specs, outcomes):
+        status, payload = outcome
+        if status == "ok":
+            results.add(payload)
+        else:
+            results.add_failure(spec.workload, spec.scheme, spec.thp, payload)
+    return results

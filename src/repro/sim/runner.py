@@ -11,6 +11,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigError, ReproError
 from repro.sim.config import SCHEMES, SimConfig
+from repro.sim.parallel import make_specs, run_specs_parallel
 from repro.sim.results import ResultSet
 from repro.sim.simulator import Simulator
 from repro.workloads.registry import SUITE, BuiltWorkload, build_workload
@@ -23,6 +24,7 @@ def run_suite(
     config: Optional[SimConfig] = None,
     verbose: bool = False,
     on_error: str = "raise",
+    jobs: int = 1,
 ) -> ResultSet:
     """Run every (workload, scheme, thp) combination.
 
@@ -34,13 +36,26 @@ def run_suite(
     fast), ``"collect"`` records it in ``ResultSet.failures`` and moves
     on to the remaining combinations.  Non-``ReproError`` exceptions
     (genuine bugs) always propagate.
+
+    ``jobs`` > 1 fans the combinations out across that many worker
+    processes (:mod:`repro.sim.parallel`); results are bit-identical to
+    the serial sweep and come back in the same order.
     """
     if on_error not in ("raise", "collect"):
         raise ConfigError(
             f"on_error must be 'raise' or 'collect', got {on_error!r}"
         )
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
     base = config or SimConfig()
     names = list(workload_names or SUITE)
+    schemes = list(schemes)
+    page_modes = list(page_modes)
+    if jobs > 1:
+        specs = make_specs(names, schemes, page_modes, base)
+        return run_specs_parallel(
+            specs, jobs=jobs, on_error=on_error, verbose=verbose
+        )
     results = ResultSet()
     built: Dict[str, BuiltWorkload] = {}
     for name in names:
@@ -80,11 +95,19 @@ def run_suite(
     return results
 
 
-def summarize_speedups(results: ResultSet, thp: bool) -> List[tuple]:
-    """(workload, scheme -> speedup) rows for Figure 9."""
-    rows = []
+def summarize_speedups(
+    results: ResultSet, thp: bool
+) -> List[Dict[str, object]]:
+    """Speedup rows for Figure 9, one dict per workload.
+
+    Each row maps ``"workload"`` to the workload name and each scheme
+    name (``radix``/``ecpt``/``lvm``/``ideal``) to its speedup over the
+    radix baseline; schemes missing from ``results`` are omitted from
+    the row.
+    """
+    rows: List[Dict[str, object]] = []
     for workload in results.workloads():
-        row = {"workload": workload}
+        row: Dict[str, object] = {"workload": workload}
         for scheme in ("radix", "ecpt", "lvm", "ideal"):
             try:
                 row[scheme] = results.speedup(workload, scheme, thp)

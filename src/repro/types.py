@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.errors import TranslationError
 
@@ -155,14 +156,17 @@ class PTE:
 
     def covers(self, vpn: int) -> bool:
         """Whether this entry translates the given 4 KB VPN."""
-        return self.vpn <= vpn < self.vpn + self.page_size.pages_4k
+        # ``page_size >> BASE_PAGE_SHIFT`` == ``page_size.pages_4k``;
+        # the raw shift skips the enum property on a hot path.
+        base = self.vpn
+        return base <= vpn < base + (self.page_size >> BASE_PAGE_SHIFT)
 
     def translate(self, va: int) -> int:
         """Physical address for a virtual address inside this mapping."""
-        size = self.page_size.value
+        # ``align_down`` inlined: this runs once per simulated reference.
+        size = self.page_size
         base_va = self.vpn << BASE_PAGE_SHIFT
-        offset = va - align_down(base_va, size)
-        return self.ppn * BASE_PAGE_SIZE + offset
+        return self.ppn * BASE_PAGE_SIZE + (va - (base_va - base_va % size))
 
 
 class AccessKind(enum.Enum):
@@ -175,14 +179,18 @@ class AccessKind(enum.Enum):
     DATA = "data"  # regular program data
 
 
-@dataclass(frozen=True)
-class WalkAccess:
+class WalkAccess(NamedTuple):
     """One physical memory access performed by a hardware page walker.
 
     ``level`` tags the page-table level (radix) or learned-index depth
     (LVM) so walk caches can decide which accesses they short-circuit.
     Accesses in the same ``parallel_group`` are issued concurrently
     (ECPT's d-ary probes): latency is their max, traffic is their sum.
+
+    A ``NamedTuple`` rather than a frozen dataclass: page walks build
+    several of these per translation, and tuple construction is a
+    fraction of the cost of ``object.__setattr__``-based init on the
+    simulator's hottest path.
     """
 
     paddr: int

@@ -87,6 +87,15 @@ class BuiltWorkload:
     info: WorkloadInfo
     space: BuiltAddressSpace
     trace_fn: Callable[[int, int], np.ndarray] = field(repr=False, default=None)
+    # (num_refs, seed) -> generated trace.  One BuiltWorkload is shared
+    # by every (scheme, thp) run of a sweep, and the generators are
+    # pure functions of (num_refs, seed), so the 8+ runs per workload
+    # regenerate identical arrays — memoize instead.  The instance is
+    # already keyed by (name, scale, workload seed) at build time,
+    # completing the cache key.
+    _trace_cache: Dict[tuple, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def vmas(self) -> List[VMA]:
@@ -95,7 +104,15 @@ class BuiltWorkload:
     def trace(self, num_refs: int, seed: int = 0) -> np.ndarray:
         if self.trace_fn is None:
             raise ValueError(f"{self.info.name} has no trace generator")
-        return self.trace_fn(num_refs, seed)
+        key = (num_refs, seed)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            cached = self.trace_fn(num_refs, seed)
+            # Consumers only read traces; freeze the shared array so an
+            # accidental in-place edit cannot poison later runs.
+            cached.setflags(write=False)
+            self._trace_cache[key] = cached
+        return cached
 
 
 # ---------------------------------------------------------------------------

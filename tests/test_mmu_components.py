@@ -49,6 +49,43 @@ class TestCache:
             cache.access(i * 4096)
         assert cache.mpki(10_000) == pytest.approx(1.0)
 
+    def test_fill_installs_without_counting(self):
+        cache = Cache("t", 4096, 4, latency=10)
+        cache.fill(0x2000)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.contains(0x2000)
+        assert cache.access(0x2000)  # demand access now hits
+
+    def test_fill_follows_demand_lru(self):
+        # 1 set x 2 ways: fill participates in the same LRU order a
+        # demand fill would, including the move-to-MRU on re-fill.
+        cache = Cache("t", 128, 2, latency=1)
+        cache.access(0)
+        cache.access(64)
+        cache.fill(0)  # refresh line 0 -> line 64 is now LRU
+        cache.fill(128)  # evicts line 64
+        assert cache.contains(0) and cache.contains(128)
+        assert not cache.contains(64)
+
+    def test_locate_override_still_honoured(self):
+        # Subclasses may replace the placement function (the learned
+        # set index in repro.extensions does); the inlined fast path
+        # must defer to the override.
+        class Swizzled(Cache):
+            def _locate(self, paddr):
+                set_idx, tag = Cache._locate(self, paddr)
+                return (set_idx + 1) % self.num_sets, tag
+
+        plain = Cache("p", 4096, 4, latency=1)
+        swizzled = Swizzled("s", 4096, 4, latency=1)
+        plain.access(0x1000)
+        swizzled.access(0x1000)
+        swizzled.fill(0x3000)
+        plain_set = Cache._locate(plain, 0x1000)[0]
+        assert plain_set in plain._sets
+        assert (plain_set + 1) % swizzled.num_sets in swizzled._sets
+        assert swizzled.contains(0x3000)
+
 
 class TestHierarchy:
     def test_latencies_by_level(self):
@@ -78,6 +115,20 @@ class TestHierarchy:
         # Floors keep at least one line per way times a few sets.
         tiny = HierarchyConfig.scaled(1 << 20)
         assert tiny.l1_size >= tiny.l1_ways * 64
+
+    def test_scaled_touches_only_sizes(self):
+        """``scaled`` shrinks capacities and nothing else: every other
+        field (latencies, ways, walker entry, prefetch degree, fields
+        added later) must match the default config."""
+        from dataclasses import fields
+
+        cfg = HierarchyConfig.scaled(16)
+        base = HierarchyConfig()
+        size_fields = {"l1_size", "l2_size", "l3_size"}
+        for f in fields(HierarchyConfig):
+            if f.name in size_fields:
+                continue
+            assert getattr(cfg, f.name) == getattr(base, f.name), f.name
 
     def test_llc_would_hit_nondestructive(self):
         h = MemoryHierarchy(HierarchyConfig(prefetch_degree=0))
@@ -128,6 +179,75 @@ class TestTLB:
         cfg = TLBConfig.scaled(16)
         assert cfg.l2_entries_per_size == 128
         assert cfg.l1_4k_entries >= 4
+
+
+class TestTLBFrontIndex:
+    """The O(1) VPN index kept in front of the L1 4 KB array."""
+
+    def _array(self, entries=8, ways=4):
+        return TLBArray("t", entries, ways, PageSize.SIZE_4K, front_index=True)
+
+    def test_requires_base_pages(self):
+        with pytest.raises(ValueError, match="front index"):
+            TLBArray("t", 8, 4, PageSize.SIZE_2M, front_index=True)
+
+    def test_insert_registers_entry(self):
+        arr = self._array()
+        pte = PTE(vpn=5, ppn=5)
+        arr.insert(pte, asid=3)
+        asid, front_pte, tlb_set, key = arr.front[5]
+        assert asid == 3 and front_pte is pte
+        assert tlb_set[key] is pte  # points at the live set/slot
+
+    def test_eviction_drops_entry(self):
+        # 1 set x 2 ways: the third insert evicts the LRU (vpn=0).
+        arr = self._array(entries=2, ways=2)
+        for vpn in (0, 1, 2):
+            arr.insert(PTE(vpn=vpn, ppn=vpn), asid=0)
+        assert 0 not in arr.front
+        assert set(arr.front) == {1, 2}
+
+    def test_invalidate_and_flush_drop_entries(self):
+        arr = self._array()
+        arr.insert(PTE(vpn=7, ppn=7), asid=0)
+        arr.insert(PTE(vpn=9, ppn=9), asid=1)
+        arr.invalidate(7, asid=0)
+        assert 7 not in arr.front
+        arr.flush_asid(1)
+        assert 9 not in arr.front
+
+    def test_invalidate_other_asid_keeps_entry(self):
+        arr = self._array()
+        arr.insert(PTE(vpn=7, ppn=7), asid=0)
+        arr.invalidate(7, asid=5)  # different address space
+        assert 7 in arr.front
+
+    def test_front_mirrors_contents_under_churn(self):
+        """After arbitrary insert/invalidate churn the index holds
+        exactly the resident (latest-insert-per-vpn) entries."""
+        arr = self._array(entries=4, ways=2)
+        for i in range(40):
+            vpn = (i * 7) % 11
+            arr.insert(PTE(vpn=vpn, ppn=i), asid=0)
+            if i % 5 == 0:
+                arr.invalidate((i * 3) % 11, asid=0)
+        resident = {
+            key[1]: pte
+            for tlb_set in arr._sets.values()
+            for key, pte in tlb_set.items()
+        }
+        assert set(arr.front) == set(resident)
+        for vpn, (asid, pte, tlb_set, key) in arr.front.items():
+            assert resident[vpn] is pte
+            assert tlb_set[key] is pte
+
+    def test_hierarchy_enables_front_only_on_l1_4k(self):
+        tlbs = TLBHierarchy(TLBConfig(front_index=True))
+        assert tlbs.l1[PageSize.SIZE_4K].front is not None
+        assert tlbs.l1[PageSize.SIZE_2M].front is None
+        assert all(arr.front is None for arr in tlbs.l2.values())
+        disabled = TLBHierarchy(TLBConfig(front_index=False))
+        assert disabled.l1[PageSize.SIZE_4K].front is None
 
 
 class TestWalkCaches:

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Register a custom translation scheme and sweep it like a built-in.
+
+The scheme registry (``repro.schemes``) is the extension point the
+paper's bake-off architecture demands: a scheme is one self-describing
+descriptor — page-table factory, walker factory, capability flags,
+stats hooks — and registering it makes it a first-class citizen of the
+serial simulator, the parallel sweep, and the CLI, with no core module
+touched.
+
+Here we wire up the Blake2 **hashed page table** from the section-7.3
+collision study (``repro.pagetables.hashed``) as a runnable scheme: a
+classic single-hash page table with no walk cache, the section-2.2
+design radix replaced.  One probe in the collision-free case, linear
+probing otherwise — so it lands between radix and the ideal oracle.
+
+Run:  PYTHONPATH=src python examples/custom_scheme.py
+"""
+
+from repro.mmu.walker import WalkOutcome
+from repro.pagetables.hashed import HashedPageTable
+from repro.schemes import SchemeDescriptor, registry
+from repro.sim import SimConfig, run_suite
+
+
+class UncachedWalker:
+    """The simplest possible hardware walker: issue every software walk
+    access through the cache hierarchy, serially, with no walk cache.
+
+    Walkers only need ``walk(vpn, asid) -> WalkOutcome`` plus the three
+    counters the stats layer reads.
+    """
+
+    def __init__(self, table, hierarchy):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        result = self.table.walk(vpn)
+        cycles = 0
+        for access in result.accesses:
+            cycles += self.hierarchy.walk_access(access.paddr)
+        issued = len(result.accesses)
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += issued
+        return WalkOutcome(result.pte, cycles, issued)
+
+
+class HashedScheme(SchemeDescriptor):
+    name = "hashed"
+    description = "Blake2 open-addressing hashed page table, no walk cache"
+    aliases = ("blake2",)
+
+    def make_page_table(self, sim):
+        return HashedPageTable(sim.allocator)
+
+    def make_walker(self, sim):
+        return UncachedWalker(sim.page_table, sim.hierarchy)
+
+
+# Module-level registration: importing this module is enough to make
+# "hashed" available everywhere — including in spawn-started sweep
+# workers, which re-import the provider module by name.
+if not registry.is_registered("hashed"):
+    registry.register(HashedScheme())
+
+
+def main() -> None:
+    print("registered schemes:", ", ".join(registry.available()))
+
+    # The custom scheme sweeps exactly like a built-in — here against
+    # radix and the oracle, across two worker processes.
+    results = run_suite(
+        ["gups"],
+        schemes=("radix", "hashed", "ideal"),
+        page_modes=(False,),
+        config=SimConfig(num_refs=20_000),
+        jobs=2,
+    )
+
+    print(f"\n{'scheme':8s} {'cycles':>12s} {'walk traffic':>12s} "
+          f"{'speedup':>8s}")
+    base = results.get("gups", "radix", False)
+    for scheme in ("radix", "hashed", "ideal"):
+        run = results.get("gups", scheme, False)
+        print(f"{scheme:8s} {run.cycles:12.0f} {run.walk_traffic:12d} "
+              f"{base.cycles / run.cycles:8.3f}")
+
+    print("\nA hashed table needs no multi-level walk, so it beats radix "
+          "on walk traffic;\ncollision probes keep it shy of the oracle.")
+
+
+if __name__ == "__main__":
+    main()

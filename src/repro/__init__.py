@@ -14,6 +14,10 @@ Public API tour:
 * :mod:`repro.kernel` — the OS layer: VMAs, THP policy, ASLR, demand
   paging, and the LVM manager (the paper's Linux-prototype analogue).
 * :mod:`repro.mem` — physical memory: buddy allocator, fragmentation.
+* :mod:`repro.schemes` — the scheme registry: every translation scheme
+  as a first-class, self-describing descriptor (factories, capability
+  flags, stats hooks); ``registry.register()`` is the extension point
+  for new schemes.
 * :mod:`repro.workloads` — the evaluation suite: graphBIG kernels over
   Kronecker graphs, GUPS, memcached, MUMmer, production-shaped spaces.
 * :mod:`repro.sim` — trace-driven full-system-style simulation and the

@@ -13,6 +13,7 @@ Usage (also via ``python -m repro``):
     python -m repro hardware             # 7.4 area/power
     python -m repro suite --refs 30000   # the full sweep, all metrics
     python -m repro chaos --refs 20000   # fault injection + recovery
+    python -m repro schemes              # registered translation schemes
 
 Typed failures map to exit codes: 2 for configuration errors, 3 for
 any other simulator error, 130 on interrupt.  ``--fail-fast`` makes
@@ -37,7 +38,8 @@ from repro.analysis import (
 )
 from repro.errors import ConfigError, ReproError
 from repro.faults import FaultKind, FaultPlan
-from repro.sim import SimConfig, default_jobs, mean, run_suite, table1_rows
+from repro.schemes import BASELINE_SCHEME, registry as scheme_registry
+from repro.sim import SCHEMES, SimConfig, default_jobs, mean, run_suite, table1_rows
 from repro.workloads import SUITE
 
 
@@ -50,17 +52,34 @@ def _report_failures(results) -> None:
         )
 
 
+def _scheme_selection(args):
+    """Resolve ``--schemes`` through the registry, eagerly.
+
+    A typo'd scheme raises :class:`~repro.errors.UnknownSchemeError`
+    (a ConfigError, exit code 2) naming the registered schemes — before
+    any simulation state or worker process exists.
+    """
+    if not getattr(args, "schemes", None):
+        return list(SCHEMES)
+    return [
+        scheme_registry.canonical_name(s)
+        for s in args.schemes.split(",")
+    ]
+
+
 def _suite_results(args):
     config = SimConfig(num_refs=args.refs)
     config.validate()  # reject bad --refs etc. before the sweep starts
     names = args.workloads.split(",") if args.workloads else None
+    schemes = _scheme_selection(args)
     jobs = args.jobs
-    print(f"running sweep: {names or SUITE} x (radix, ecpt, lvm, ideal) "
+    print(f"running sweep: {names or SUITE} x {tuple(schemes)} "
           f"x (4KB, THP), {args.refs} refs each"
           + (f", {jobs} worker processes" if jobs > 1 else "")
           + "...", file=sys.stderr)
     results = run_suite(
-        workload_names=names, config=config, verbose=args.verbose,
+        workload_names=names, schemes=schemes, config=config,
+        verbose=args.verbose,
         on_error="raise" if args.fail_fast else "collect",
         jobs=jobs,
     )
@@ -91,23 +110,22 @@ def cmd_fig3(args) -> None:
 
 
 def _speedup_tables(results) -> None:
+    schemes = [s for s in results.schemes() if s != BASELINE_SCHEME]
     for thp in (False, True):
         label = "THP" if thp else "4KB"
         rows = []
         for w in results.workloads():
-            rows.append((
-                w,
-                results.speedup(w, "ecpt", thp),
-                results.speedup(w, "lvm", thp),
-                results.speedup(w, "ideal", thp),
-            ))
+            rows.append(
+                (w,) + tuple(results.speedup(w, s, thp) for s in schemes)
+            )
         print(render_table(
-            ["workload", "ecpt", "lvm", "ideal"], rows,
-            title=f"Figure 9 — speedup over radix ({label})",
+            ["workload"] + schemes, rows,
+            title=f"Figure 9 — speedup over {BASELINE_SCHEME} ({label})",
         ))
-        print(f"averages: ecpt={mean(r[1] for r in rows):.3f} "
-              f"lvm={mean(r[2] for r in rows):.3f} "
-              f"ideal={mean(r[3] for r in rows):.3f}\n")
+        print("averages: " + " ".join(
+            f"{s}={mean(r[i + 1] for r in rows):.3f}"
+            for i, s in enumerate(schemes)
+        ) + "\n")
 
 
 def cmd_fig9(args) -> None:
@@ -115,14 +133,19 @@ def cmd_fig9(args) -> None:
 
 
 def _relative_tables(results, metric: str, title: str, **kw) -> None:
+    schemes = [
+        s for s in results.schemes() if s not in (BASELINE_SCHEME, "ideal")
+    ]
     for thp in (False, True):
         label = "THP" if thp else "4KB"
         rows = []
         for w in results.workloads():
             fn = getattr(results, metric)
-            rows.append((w, fn(w, "ecpt", thp, **kw), fn(w, "lvm", thp, **kw)))
+            rows.append(
+                (w,) + tuple(fn(w, s, thp, **kw) for s in schemes)
+            )
         print(render_table(
-            ["workload", "ecpt", "lvm"], rows, title=f"{title} ({label})"
+            ["workload"] + schemes, rows, title=f"{title} ({label})"
         ))
         print()
 
@@ -143,18 +166,24 @@ def cmd_fig11(args) -> None:
 
 def cmd_fig12(args) -> None:
     results = _suite_results(args)
+    schemes = [
+        s for s in results.schemes() if s not in (BASELINE_SCHEME, "ideal")
+    ]
     rows = []
     for w in results.workloads():
-        rows.append((
-            w,
-            results.mpki_relative(w, "ecpt", False, "l2"),
-            results.mpki_relative(w, "lvm", False, "l2"),
-            results.mpki_relative(w, "ecpt", False, "l3"),
-            results.mpki_relative(w, "lvm", False, "l3"),
-        ))
+        rows.append(
+            (w,)
+            + tuple(results.mpki_relative(w, s, False, "l2") for s in schemes)
+            + tuple(results.mpki_relative(w, s, False, "l3") for s in schemes)
+        )
+    headers = (
+        ["workload"]
+        + [f"{s} L2" for s in schemes]
+        + [f"{s} L3" for s in schemes]
+    )
     print(render_table(
-        ["workload", "ecpt L2", "lvm L2", "ecpt L3", "lvm L3"], rows,
-        title="Figure 12 — MPKI relative to radix (4KB)",
+        headers, rows,
+        title=f"Figure 12 — MPKI relative to {BASELINE_SCHEME} (4KB)",
     ))
 
 
@@ -207,6 +236,27 @@ def cmd_hardware(args) -> None:
     ))
     print(f"ratios (radix/LVM): bytes={cmp.bytes_ratio:.2f} "
           f"area={cmp.area_ratio:.2f} power={cmp.power_ratio:.2f}")
+
+
+def cmd_schemes(args) -> None:
+    """List the registered translation schemes and their capabilities."""
+    rows = []
+    for d in scheme_registry.descriptors():
+        rows.append((
+            d.name,
+            ",".join(d.aliases) if d.aliases else "-",
+            "core" if d.core else "extended",
+            "yes" if d.supports_thp else "no",
+            d.walk_cache_kind,
+            "yes" if d.supports_virtualization else "no",
+            d.description,
+        ))
+    print(render_table(
+        ["scheme", "aliases", "tier", "THP", "walk cache", "virt",
+         "description"],
+        rows,
+        title="Registered translation schemes",
+    ))
 
 
 def cmd_suite(args) -> None:
@@ -268,6 +318,7 @@ COMMANDS = {
     "collisions": cmd_collisions,
     "scaling": cmd_scaling,
     "hardware": cmd_hardware,
+    "schemes": cmd_schemes,
     "suite": cmd_suite,
 }
 
@@ -287,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", default=None,
         help="comma-separated workload subset (default: the full suite)",
+    )
+    parser.add_argument(
+        "--schemes", default=None,
+        help="comma-separated scheme subset for sweep commands (default: "
+             "the core set; see 'repro schemes' for everything registered; "
+             "unknown names are rejected before the sweep starts)",
     )
     parser.add_argument(
         "-j", "--jobs", type=int, default=default_jobs(),

@@ -36,6 +36,20 @@ class ConfigError(ReproError, ValueError):
     """A configuration object failed validation."""
 
 
+class UnknownSchemeError(ConfigError):
+    """A translation-scheme name is not in the scheme registry.
+
+    Raised eagerly — at suite-construction/CLI-parse time — so a typo'd
+    scheme fails with the list of registered names instead of a bare
+    ``ValueError`` from inside a worker process mid-sweep."""
+
+
+class SchemeCapabilityError(ConfigError):
+    """A registered scheme was asked for a capability it lacks (for
+    example a nested-translation host mapping from a scheme with no
+    virtualization support)."""
+
+
 class TranslationError(ReproError):
     """Raised when a translation scheme is asked to do something invalid
     (double-map, unmap of an absent page, walk of an unmapped VPN when

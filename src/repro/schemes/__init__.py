@@ -1,0 +1,36 @@
+"""Translation schemes as first-class, self-describing components.
+
+One module per scheme defines a :class:`SchemeDescriptor` — factories,
+capability flags, stats hooks — and registers it with the
+:mod:`~repro.schemes.registry`.  The simulator, the serial/parallel
+sweeps, the CLI and the virtualization layer all resolve scheme names
+here; adding a scheme touches exactly one new module (or none: any
+importable module may call :func:`registry.register` itself, see
+``examples/custom_scheme.py``).
+
+Import order fixes the canonical listing: the paper's headline four
+(radix, ecpt, lvm, ideal) first, then the section-7.5 extended set
+(fpt, asap, midgard).
+"""
+
+from repro.schemes import registry
+from repro.schemes.base import RadixWalkCacheStats, SchemeDescriptor
+
+# Built-in descriptors self-register on import, in presentation order.
+from repro.schemes import radix as _radix  # noqa: F401,E402
+from repro.schemes import ecpt as _ecpt  # noqa: F401,E402
+from repro.schemes import lvm as _lvm  # noqa: F401,E402
+from repro.schemes import ideal as _ideal  # noqa: F401,E402
+from repro.schemes import fpt as _fpt  # noqa: F401,E402
+from repro.schemes import asap as _asap  # noqa: F401,E402
+from repro.schemes import midgard as _midgard  # noqa: F401,E402
+
+#: The normalization baseline of every relative metric (Figures 9-12).
+BASELINE_SCHEME = "radix"
+
+__all__ = [
+    "BASELINE_SCHEME",
+    "RadixWalkCacheStats",
+    "SchemeDescriptor",
+    "registry",
+]

@@ -1,0 +1,136 @@
+"""The scheme registry: name -> :class:`SchemeDescriptor` resolution.
+
+One place defines a scheme; everything else — the simulator, the
+serial and parallel sweeps, the CLI, the virtualization layer — looks
+it up here.  ``register()`` is the extension point: a descriptor
+registered from *any* module (a test, an example, a user script)
+immediately works everywhere a scheme name is accepted, including
+``run_suite(jobs=N)``.
+
+Pickling rules for the parallel sweep
+-------------------------------------
+
+Descriptors themselves are never pickled.  A :class:`RunSpec` carries
+the scheme's canonical *name* plus the module that registered it
+(:func:`provider_module`); a worker process resolves the name through
+this registry, importing the provider module first if the name is not
+yet registered there.  Under the default ``fork`` start method workers
+inherit the parent's registry wholesale, so even schemes registered
+from ``__main__`` or a REPL work; under ``spawn`` a custom scheme must
+live in an importable module whose import registers it (module-level
+``register(...)`` call), which is exactly what the built-in descriptor
+modules do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, UnknownSchemeError
+from repro.schemes.base import SchemeDescriptor
+
+#: canonical name -> descriptor, in registration order (dicts preserve
+#: insertion order, which fixes ``available()`` and the sweep default).
+_DESCRIPTORS: Dict[str, SchemeDescriptor] = {}
+#: alias -> canonical name.
+_ALIASES: Dict[str, str] = {}
+#: canonical name -> module whose import (re-)registers the descriptor.
+_PROVIDERS: Dict[str, str] = {}
+
+SchemeLike = Union[str, SchemeDescriptor]
+
+
+def register(
+    descriptor: SchemeDescriptor, *, replace: bool = False
+) -> SchemeDescriptor:
+    """Register ``descriptor`` under its name and aliases.
+
+    Returns the descriptor so modules can write
+    ``DESCRIPTOR = register(MyScheme())``.  Name/alias collisions are
+    configuration errors unless ``replace=True`` (which also drops the
+    previous registration's aliases).
+    """
+    name = descriptor.name
+    if not name or not isinstance(name, str):
+        raise ConfigError(
+            f"scheme descriptor {descriptor!r} needs a non-empty string name"
+        )
+    taken = set(_DESCRIPTORS) | set(_ALIASES)
+    claimed = (name,) + tuple(descriptor.aliases)
+    if not replace:
+        clash = [c for c in claimed if c in taken]
+        if clash:
+            raise ConfigError(
+                f"scheme name(s) {clash!r} already registered; pass "
+                "replace=True to override"
+            )
+    else:
+        unregister(name)
+    for alias in descriptor.aliases:
+        _ALIASES[alias] = name
+    _DESCRIPTORS[name] = descriptor
+    _PROVIDERS[name] = type(descriptor).__module__
+    return descriptor
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (test/teardown helper).  Unknown names are
+    a no-op so teardown paths can call this unconditionally."""
+    canonical = _ALIASES.get(name, name)
+    _DESCRIPTORS.pop(canonical, None)
+    _PROVIDERS.pop(canonical, None)
+    for alias, target in list(_ALIASES.items()):
+        if target == canonical:
+            del _ALIASES[alias]
+
+
+def get(scheme: SchemeLike) -> SchemeDescriptor:
+    """Resolve a scheme name (or alias, or descriptor instance) to its
+    descriptor, raising :class:`UnknownSchemeError` — with the list of
+    registered names — for anything unknown."""
+    if isinstance(scheme, SchemeDescriptor):
+        return scheme
+    canonical = _ALIASES.get(scheme, scheme)
+    descriptor = _DESCRIPTORS.get(canonical)
+    if descriptor is None:
+        raise UnknownSchemeError(
+            f"unknown translation scheme {scheme!r}; registered schemes: "
+            f"{', '.join(available())}"
+        )
+    return descriptor
+
+
+def canonical_name(scheme: SchemeLike) -> str:
+    """The canonical name for a scheme name/alias/descriptor."""
+    return get(scheme).name
+
+
+def is_registered(scheme: str) -> bool:
+    return scheme in _DESCRIPTORS or scheme in _ALIASES
+
+
+def available() -> Tuple[str, ...]:
+    """All registered canonical names, in registration order."""
+    return tuple(_DESCRIPTORS)
+
+
+def core_schemes() -> Tuple[str, ...]:
+    """The paper's headline comparison set (``core=True`` descriptors)."""
+    return tuple(n for n, d in _DESCRIPTORS.items() if d.core)
+
+
+def virtualization_schemes() -> Tuple[str, ...]:
+    """Schemes that can host the second dimension of a nested walk."""
+    return tuple(
+        n for n, d in _DESCRIPTORS.items() if d.supports_virtualization
+    )
+
+
+def provider_module(scheme: SchemeLike) -> Optional[str]:
+    """The module whose import registers ``scheme`` (for sweep workers)."""
+    return _PROVIDERS.get(canonical_name(scheme))
+
+
+def descriptors() -> List[SchemeDescriptor]:
+    """All registered descriptors, in registration order."""
+    return list(_DESCRIPTORS.values())

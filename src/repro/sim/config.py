@@ -17,9 +17,14 @@ from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
 from repro.mmu.hierarchy import HierarchyConfig
 from repro.mmu.tlb import TLBConfig
+from repro.schemes import registry as scheme_registry
 
-SCHEMES = ("radix", "ecpt", "lvm", "ideal")
-EXTENDED_SCHEMES = SCHEMES + ("fpt", "asap", "midgard")
+#: The paper's headline comparison set and the full built-in set, both
+#: derived from the scheme registry (one place defines a scheme).
+#: Captured at import time — after the built-ins have registered — so
+#: they remain the stable tuples tests and sweeps rely on.
+SCHEMES = scheme_registry.core_schemes()
+EXTENDED_SCHEMES = scheme_registry.available()
 
 
 @dataclass

@@ -126,12 +126,13 @@ class MultiThreadedSimulator:
             hier = MemoryHierarchy(self.config.hierarchy)
             hier.l3 = shared_l3
             sim_clone = Simulator.__new__(Simulator)
-            sim_clone.scheme = scheme
+            sim_clone.descriptor = self.primary.descriptor
+            sim_clone.scheme = self.primary.scheme
             sim_clone.config = self.config
             sim_clone.hierarchy = hier
             sim_clone.manager = self.primary.manager
             sim_clone.page_table = self.primary.page_table
-            walker = sim_clone._make_walker()
+            walker = sim_clone.descriptor.make_walker(sim_clone)
             self.mmus.append(MMU(walker, self.config.tlb))
             self.hierarchies.append(hier)
         self.locks = LockStats()

@@ -33,12 +33,14 @@ path's build-once-per-name dictionary.
 
 from __future__ import annotations
 
+import importlib
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError, ReproError
+from repro.schemes import registry as scheme_registry
 from repro.sim.config import SimConfig
 from repro.sim.results import ResultSet
 from repro.sim.simulator import Simulator
@@ -60,6 +62,12 @@ class RunSpec:
     ``config`` is the sweep's *base* config; the worker clones it with
     ``thp`` applied, exactly like the serial loop, so a spec stays a
     pure description and the clone point is identical in both paths.
+
+    ``scheme`` is a canonical registry name — descriptors themselves
+    never pickle.  ``scheme_module`` records the module whose import
+    registers the descriptor, so a worker that does not inherit the
+    parent's registry (``spawn`` start method) can re-import it before
+    resolving the name.
     """
 
     workload: str
@@ -68,6 +76,7 @@ class RunSpec:
     scale: int
     workload_seed: int
     config: SimConfig = field(repr=False)
+    scheme_module: Optional[str] = None
 
 
 def default_jobs() -> int:
@@ -86,8 +95,10 @@ def make_specs(
 ) -> List[RunSpec]:
     """Spec list in the serial sweep's nesting order (thp, name, scheme).
 
-    Unknown workload names are rejected here — before any worker forks —
-    with the same :class:`ConfigError` the serial build step raises.
+    Unknown workload *and* scheme names are rejected here — before any
+    worker forks — with the same :class:`ConfigError` family the serial
+    path raises (schemes get :class:`~repro.errors.UnknownSchemeError`
+    listing ``registry.available()``).
     """
     for name in names:
         if name not in WORKLOADS and name not in PRODUCTION_WORKLOADS:
@@ -95,6 +106,10 @@ def make_specs(
                 f"unknown workload {name!r}; choose from "
                 f"{SUITE + list(PRODUCTION_WORKLOADS)}"
             )
+    resolved = [
+        (scheme_registry.canonical_name(s), scheme_registry.provider_module(s))
+        for s in schemes
+    ]
     return [
         RunSpec(
             workload=name,
@@ -103,10 +118,11 @@ def make_specs(
             scale=config.footprint_scale,
             workload_seed=config.workload_seed,
             config=config,
+            scheme_module=module,
         )
         for thp in page_modes
         for name in names
-        for scheme in schemes
+        for scheme, module in resolved
     ]
 
 
@@ -120,6 +136,12 @@ def _worker_run(spec: RunSpec):
     """Execute one spec in a worker; returns ("ok", result) or
     ("error", ReproError).  Non-ReproError exceptions escape on purpose
     (the parent re-raises them as genuine bugs)."""
+    if not scheme_registry.is_registered(spec.scheme) and spec.scheme_module:
+        # ``spawn`` workers start with only the built-in registry; a
+        # custom scheme re-registers by importing its provider module.
+        # (Under the default ``fork`` start the parent's registry is
+        # inherited and this branch never runs.)
+        importlib.import_module(spec.scheme_module)
     key = (spec.workload, spec.scale, spec.workload_seed)
     built = _WORKER_WORKLOADS.get(key)
     if built is None:

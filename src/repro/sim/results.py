@@ -7,6 +7,8 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.schemes import BASELINE_SCHEME
+
 
 @dataclass
 class SimResult:
@@ -123,9 +125,18 @@ class ResultSet:
                 seen.append(r.workload)
         return seen
 
+    def schemes(self) -> List[str]:
+        """Distinct scheme names present, in first-seen order."""
+        seen: List[str] = []
+        for r in self.results:
+            if r.scheme not in seen:
+                seen.append(r.scheme)
+        return seen
+
     # -- the paper's metrics ------------------------------------------
     def speedup(self, workload: str, scheme: str, thp: bool,
-                baseline_scheme: str = "radix", baseline_thp: Optional[bool] = None) -> float:
+                baseline_scheme: str = BASELINE_SCHEME,
+                baseline_thp: Optional[bool] = None) -> float:
         """Execution-time speedup vs. a baseline run (Figure 9)."""
         if baseline_thp is None:
             baseline_thp = thp
@@ -134,20 +145,21 @@ class ResultSet:
         return base.cycles / run.cycles
 
     def mmu_overhead_relative(self, workload: str, scheme: str, thp: bool) -> float:
-        """MMU cycles normalized to radix at the same page size (Fig 10)."""
-        base = self.get(workload, "radix", thp)
+        """MMU cycles normalized to the baseline scheme at the same
+        page size (Figure 10)."""
+        base = self.get(workload, BASELINE_SCHEME, thp)
         run = self.get(workload, scheme, thp)
         return run.mmu_cycles / base.mmu_cycles if base.mmu_cycles else 0.0
 
     def walk_traffic_relative(self, workload: str, scheme: str, thp: bool) -> float:
-        """Page-walk memory requests normalized to radix (Figure 11)."""
-        base = self.get(workload, "radix", thp)
+        """Page-walk memory requests normalized to the baseline (Fig 11)."""
+        base = self.get(workload, BASELINE_SCHEME, thp)
         run = self.get(workload, scheme, thp)
         return run.walk_traffic / base.walk_traffic if base.walk_traffic else 0.0
 
     def mpki_relative(self, workload: str, scheme: str, thp: bool, level: str) -> float:
-        """L2/L3 MPKI normalized to radix (Figure 12)."""
-        base = self.get(workload, "radix", thp)
+        """L2/L3 MPKI normalized to the baseline (Figure 12)."""
+        base = self.get(workload, BASELINE_SCHEME, thp)
         run = self.get(workload, scheme, thp)
         base_v = getattr(base, f"{level}_mpki")
         return getattr(run, f"{level}_mpki") / base_v if base_v else 0.0

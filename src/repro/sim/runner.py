@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigError, ReproError
+from repro.schemes import registry as scheme_registry
 from repro.sim.config import SCHEMES, SimConfig
 from repro.sim.parallel import make_specs, run_specs_parallel
 from repro.sim.results import ResultSet
@@ -49,7 +50,11 @@ def run_suite(
         raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
     base = config or SimConfig()
     names = list(workload_names or SUITE)
-    schemes = list(schemes)
+    # Resolve every scheme through the registry up front: a typo'd name
+    # fails here — with the list of registered schemes — not deep inside
+    # a worker process mid-sweep.  Aliases canonicalize so serial and
+    # parallel sweeps record identical ``SimResult.scheme`` strings.
+    schemes = [scheme_registry.canonical_name(s) for s in schemes]
     page_modes = list(page_modes)
     if jobs > 1:
         specs = make_specs(names, schemes, page_modes, base)
@@ -100,15 +105,15 @@ def summarize_speedups(
 ) -> List[Dict[str, object]]:
     """Speedup rows for Figure 9, one dict per workload.
 
-    Each row maps ``"workload"`` to the workload name and each scheme
-    name (``radix``/``ecpt``/``lvm``/``ideal``) to its speedup over the
-    radix baseline; schemes missing from ``results`` are omitted from
-    the row.
+    Each row maps ``"workload"`` to the workload name and each core
+    scheme name (the registry's headline comparison set) to its speedup
+    over the radix baseline; schemes missing from ``results`` are
+    omitted from the row.
     """
     rows: List[Dict[str, object]] = []
     for workload in results.workloads():
         row: Dict[str, object] = {"workload": workload}
-        for scheme in ("radix", "ecpt", "lvm", "ideal"):
+        for scheme in scheme_registry.core_schemes():
             try:
                 row[scheme] = results.speedup(workload, scheme, thp)
             except KeyError:

@@ -5,6 +5,13 @@ flows through the TLB hierarchy, the scheme-specific page walker (with
 its walk cache), and the L1/L2/L3/DRAM chain.  Translation cycles, walk
 traffic, cache misses and execution cycles fall out of the same runs,
 exactly as Figures 9-12 are produced from one set of simulations.
+
+Everything scheme-specific — page-table construction, walker
+construction, the trace loop, per-scheme stats — is delegated to the
+scheme's :class:`~repro.schemes.base.SchemeDescriptor`, resolved
+through :mod:`repro.schemes.registry`.  The simulator itself only
+knows the scheme-independent machinery: allocator, process, TLBs,
+cache hierarchy, and the two trace loops the descriptors choose from.
 """
 
 from __future__ import annotations
@@ -19,18 +26,7 @@ from repro.mem.allocator import BumpAllocator
 from repro.mem.buddy import BuddyAllocator
 from repro.mmu.hierarchy import MemoryHierarchy
 from repro.mmu.mmu import MMU
-from repro.mmu.walker import (
-    ASAPWalker,
-    ECPTWalker,
-    FPTWalker,
-    IdealWalker,
-    LVMWalker,
-    RadixWalker,
-)
-from repro.pagetables.ecpt import ECPT
-from repro.pagetables.fpt import FlattenedPageTable
-from repro.pagetables.ideal import IdealPageTable
-from repro.pagetables.radix import RadixPageTable
+from repro.schemes import registry
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
 from repro.types import BASE_PAGE_SIZE, TranslationError
@@ -38,17 +34,24 @@ from repro.workloads.registry import BuiltWorkload
 
 
 class Simulator:
-    """One (workload, scheme, page-size) simulation."""
+    """One (workload, scheme, page-size) simulation.
+
+    ``scheme`` may be a registered scheme name (or alias) or a
+    :class:`~repro.schemes.base.SchemeDescriptor` instance; unknown
+    names raise :class:`~repro.errors.UnknownSchemeError` before any
+    simulation state is built.
+    """
 
     def __init__(
         self,
-        scheme: str,
+        scheme,
         workload: BuiltWorkload,
         config: Optional[SimConfig] = None,
         lvm_config: Optional[LVMConfig] = None,
         allocator=None,
     ):
-        self.scheme = scheme
+        self.descriptor = registry.get(scheme)
+        self.scheme = self.descriptor.name
         self.workload = workload
         self.config = config or SimConfig()
         self.config.validate()
@@ -64,13 +67,12 @@ class Simulator:
         # ``allocator`` lets the fragmentation studies (sections 7.3,
         # 7.5.3) back the page tables with a pre-fragmented buddy.
         self.allocator = allocator if allocator is not None else self._make_allocator()
-        if self.injector is not None and scheme == "lvm":
-            # Injected allocation failures target the LVM structures
-            # (gapped tables, model arrays), which own the
-            # retry-with-backoff defense.
+        if self.injector is not None and self.descriptor.wraps_allocator_under_faults:
             self.allocator = self.injector.wrap_allocator(self.allocator)
+        # The scheme's OS-side manager, if it has one (LVM's descriptor
+        # sets this from make_page_table).
         self.manager: Optional[LVMManager] = None
-        self.page_table = self._make_page_table()
+        self.page_table = self.descriptor.make_page_table(self)
         self.process = Process(
             self.page_table,
             allocator=self.allocator,
@@ -79,7 +81,7 @@ class Simulator:
             injector=self.injector,
         )
         self._populate()
-        self.walker = self._make_walker()
+        self.walker = self.descriptor.make_walker(self)
         self.mmu = MMU(self.walker, self.config.tlb)
 
     # -- setup -----------------------------------------------------------
@@ -87,24 +89,6 @@ class Simulator:
         if self.config.phys_mem_bytes is None:
             return BumpAllocator()
         return BuddyAllocator(self.config.phys_mem_bytes)
-
-    def _make_page_table(self):
-        scheme = self.scheme
-        if scheme in ("radix", "asap", "midgard"):
-            return RadixPageTable(self.allocator)
-        if scheme == "ecpt":
-            # Initial table size scales with the footprint, as Table
-            # 1's 16384 entries correspond to full-size workloads.
-            initial = max(256, 16384 // self.config.footprint_scale)
-            return ECPT(self.allocator, initial_size=initial)
-        if scheme == "ideal":
-            return IdealPageTable(self.allocator)
-        if scheme == "fpt":
-            return FlattenedPageTable(self.allocator)
-        if scheme == "lvm":
-            self.manager = LVMManager(self.allocator, self.lvm_config)
-            return self.manager
-        raise ValueError(f"unknown scheme {self.scheme!r}")
 
     def _populate(self) -> None:
         if self.manager is not None:
@@ -114,38 +98,17 @@ class Simulator:
         if self.manager is not None:
             self.manager.end_batch()
 
-    def _make_walker(self):
-        scheme = self.scheme
-        if scheme in ("radix", "midgard"):
-            return RadixWalker(self.page_table, self.hierarchy)
-        if scheme == "asap":
-            return ASAPWalker(
-                self.page_table,
-                self.hierarchy,
-                prefetch_success_rate=self.config.asap_prefetch_success,
-            )
-        if scheme == "ecpt":
-            return ECPTWalker(self.page_table, self.hierarchy)
-        if scheme == "ideal":
-            return IdealWalker(self.page_table, self.hierarchy)
-        if scheme == "fpt":
-            return FPTWalker(self.page_table, self.hierarchy)
-        if scheme == "lvm":
-            return LVMWalker(self.manager.index, self.hierarchy)
-        raise ValueError(f"unknown scheme {self.scheme!r}")
-
     # -- the run -----------------------------------------------------------
     def run(self, num_refs: Optional[int] = None) -> SimResult:
         refs = num_refs or self.config.num_refs
         trace = self.workload.trace(refs, self.config.trace_seed)
         refs = len(trace)
-        if self.scheme == "midgard":
-            data_stall, mmu_cycles = self._run_midgard(trace)
-        else:
-            data_stall, mmu_cycles = self._run_standard(trace)
+        data_stall, mmu_cycles = self.descriptor.run_trace(self, trace)
         return self._result(refs, data_stall, mmu_cycles)
 
-    def _run_standard(self, trace) -> "tuple[int, int]":
+    def run_standard(self, trace) -> "tuple[int, int]":
+        """The default trace loop: every reference is translated through
+        the TLB hierarchy, then accesses the data hierarchy."""
         translate = self.mmu.translate
         access = self.hierarchy.access
         fault = self.process.handle_fault
@@ -204,10 +167,10 @@ class Simulator:
         ):
             self.incorrect_translations += 1
 
-    def _run_midgard(self, trace) -> "tuple[int, int]":
-        """Midgard (section 7.5.2): the cache hierarchy is indexed by
-        intermediate (virtual) addresses, so hits need no translation;
-        only LLC misses walk the (radix) page table."""
+    def run_virtual_hierarchy(self, trace) -> "tuple[int, int]":
+        """Midgard's trace loop (section 7.5.2): the cache hierarchy is
+        indexed by intermediate (virtual) addresses, so hits need no
+        translation; only LLC misses walk the page table."""
         access_info = self.hierarchy.access_info
         injector = self.injector
         data_stall = 0
@@ -227,29 +190,10 @@ class Simulator:
         return data_stall, mmu_cycles
 
     # -- accounting ----------------------------------------------------
-    def _lvm_mgmt_cycles(self) -> "tuple[float, dict]":
-        if self.manager is None:
-            return 0.0, {}
-        stats = self.manager.index.stats
-        costs = self.config.lvm_costs
-        keys = self.manager.index.num_mappings
-        detail = {
-            "inserts": costs.insert_cycles * stats.inserts,
-            "rescales": costs.rescale_cycles * stats.rescales,
-            "local_retrains": costs.local_retrain_cycles * stats.local_retrains,
-            "rebuilds": costs.rebuild_cycles_per_key * keys * stats.full_rebuilds,
-        }
-        charged = sum(detail.values())
-        # The initial build happens during process start-up, before the
-        # region of interest (the paper's 1B-instruction window starts
-        # after initialization); report it but do not charge it.
-        detail["initial_build_uncharged"] = costs.build_cycles_per_key * keys
-        return charged, detail
-
     def _result(self, refs: int, data_stall: int, mmu_cycles: int) -> SimResult:
         core = self.config.core
         instructions = int(refs * self.workload.info.instructions_per_ref)
-        mgmt_cycles, mgmt_detail = self._lvm_mgmt_cycles()
+        mgmt_cycles, mgmt_detail = self.descriptor.mgmt_cycles(self)
         cycles = (
             instructions * core.base_cpi
             + data_stall * core.data_stall_exposure
@@ -279,37 +223,10 @@ class Simulator:
             mgmt_cycles=mgmt_cycles,
             mgmt_detail=mgmt_detail,
         )
-        self._fill_walk_cache_stats(result)
-        self._fill_lvm_stats(result)
+        self.descriptor.fill_walk_cache_stats(self, result)
+        self.descriptor.fill_scheme_stats(self, result)
         self._fill_fault_stats(result)
         return result
-
-    def _fill_walk_cache_stats(self, result: SimResult) -> None:
-        walker = self.walker
-        if isinstance(walker, LVMWalker):
-            result.walk_cache_hit_rate = walker.lwc.hit_rate
-            result.walk_cache_detail = {"lwc": walker.lwc.hit_rate}
-        elif isinstance(walker, ECPTWalker):
-            result.walk_cache_hit_rate = walker.cwc.hit_rate
-            result.walk_cache_detail = {
-                "pmd": walker.cwc.pmd.hit_rate,
-                "pud": walker.cwc.pud.hit_rate,
-            }
-        elif isinstance(walker, RadixWalker):
-            rates = walker.pwc.hit_rate_by_level
-            result.walk_cache_detail = {f"L{k}": v for k, v in rates.items()}
-            lookups = sum(l.accesses for l in walker.pwc.levels.values())
-            hits = sum(l.hits for l in walker.pwc.levels.values())
-            result.walk_cache_hit_rate = hits / lookups if lookups else 0.0
-
-    def _fill_lvm_stats(self, result: SimResult) -> None:
-        if self.manager is None:
-            return
-        index = self.manager.index
-        result.index_size_bytes = index.index_size_bytes
-        result.index_depth = index.depth
-        result.collision_rate = index.stats.collision_rate
-        result.avg_extra_accesses = index.stats.avg_extra_accesses_per_collision
 
     def _fill_fault_stats(self, result: SimResult) -> None:
         if self.injector is not None:
@@ -351,7 +268,7 @@ class Simulator:
 
 
 def simulate(
-    scheme: str,
+    scheme,
     workload: BuiltWorkload,
     config: Optional[SimConfig] = None,
     lvm_config: Optional[LVMConfig] = None,

@@ -25,10 +25,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.learned_index import LearnedIndex
+from repro.errors import SchemeCapabilityError
 from repro.mmu.hierarchy import MemoryHierarchy
 from repro.mmu.tlb import TLBArray
 from repro.mmu.walk_cache import LWC, RadixPWC
 from repro.pagetables.radix import RadixPageTable
+from repro.schemes import registry as scheme_registry
 from repro.types import PTE, PageSize
 
 
@@ -238,15 +240,20 @@ def build_host_mapping(
     Guest physical memory is one big, regular region (hypervisors
     allocate it in large chunks), which is the learned index's best
     case — one more reason nested LVM nests cheaply.
+
+    ``scheme`` resolves through the scheme registry; schemes without
+    virtualization support raise
+    :class:`~repro.errors.SchemeCapabilityError` naming the schemes
+    that have it.
     """
     ptes = [
         PTE(vpn=base_gpa_vpn + i, ppn=(2 << 20) + i) for i in range(guest_pages)
     ]
-    if scheme == "lvm":
-        index = LearnedIndex(allocator)
-        index.bulk_build(ptes)
-        return index
-    table = RadixPageTable(allocator)
-    for pte in ptes:
-        table.map(pte)
-    return table
+    descriptor = scheme_registry.get(scheme)
+    if not descriptor.supports_virtualization:
+        raise SchemeCapabilityError(
+            f"scheme {descriptor.name!r} cannot host nested translation; "
+            f"virtualization-capable schemes: "
+            f"{', '.join(scheme_registry.virtualization_schemes())}"
+        )
+    return descriptor.make_host_table(allocator, ptes)

@@ -1,0 +1,239 @@
+"""The scheme registry and descriptor protocol (`repro.schemes`).
+
+Three properties are pinned here:
+
+* **Golden bit-identity** — the descriptor refactor reproduces the
+  pre-refactor simulator cycle-for-cycle: every (scheme, thp) cell in
+  ``tests/golden/scheme_cells.json`` (generated *before* the refactor)
+  must match field-for-field, serially and through the parallel sweep.
+* **The registry is a real extension point** — a custom scheme defined
+  in this module (outside ``repro/schemes/``) runs end-to-end through
+  the serial simulator and ``run_suite(jobs=2)`` bit-identically,
+  without modifying any core module.
+* **Eager validation** — unknown scheme names fail at suite
+  construction with the list of registered schemes, never inside a
+  worker.
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    ConfigError,
+    SchemeCapabilityError,
+    UnknownSchemeError,
+)
+from repro.mem.allocator import BumpAllocator
+from repro.mmu.walker import WalkOutcome
+from repro.pagetables.hashed import HashedPageTable
+from repro.pagetables.radix import RadixPageTable
+from repro.schemes import SchemeDescriptor, registry
+from repro.schemes.ecpt import ECPTScheme
+from repro.sim import EXTENDED_SCHEMES, SCHEMES, SimConfig, Simulator, run_suite
+from repro.virt import build_host_mapping
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_cells.json"
+REFS = 2_000
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def gups():
+    return build_workload("gups")
+
+
+# -- a custom scheme, defined entirely outside repro/schemes/ -----------
+
+class UncachedWalker:
+    """Minimal walker: every software access goes to the hierarchy,
+    serially, with no walk cache at all."""
+
+    def __init__(self, table, hierarchy):
+        self.table = table
+        self.hierarchy = hierarchy
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int, asid: int = 0) -> WalkOutcome:
+        result = self.table.walk(vpn)
+        cycles = 0
+        for access in result.accesses:
+            cycles += self.hierarchy.walk_access(access.paddr)
+        issued = len(result.accesses)
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += issued
+        return WalkOutcome(result.pte, cycles, issued)
+
+
+class ToyHashedScheme(SchemeDescriptor):
+    """Blake2 hashed page table as a translation scheme — reuses the
+    section-7.3 collision-study table, which no built-in descriptor
+    wires into the simulator."""
+
+    name = "toy-hashed"
+    description = "test-only: Blake2 hashed page table, uncached walker"
+    aliases = ("toyhash",)
+
+    def make_page_table(self, sim):
+        return HashedPageTable(sim.allocator)
+
+    def make_walker(self, sim):
+        return UncachedWalker(sim.page_table, sim.hierarchy)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _toy_scheme():
+    descriptor = registry.register(ToyHashedScheme())
+    yield descriptor
+    registry.unregister(descriptor.name)
+
+
+# -- golden bit-identity across the refactor ----------------------------
+
+class TestGoldenBitIdentity:
+    def test_serial_matches_pre_refactor(self, golden, gups):
+        assert golden["workload"] == "gups"
+        for rec in golden["results"]:
+            cfg = SimConfig(num_refs=golden["refs"], thp=rec["thp"])
+            result = Simulator(rec["scheme"], gups, cfg).run()
+            assert asdict(result) == rec, (rec["scheme"], rec["thp"])
+
+    def test_parallel_matches_pre_refactor(self, golden):
+        results = run_suite(
+            [golden["workload"]],
+            schemes=EXTENDED_SCHEMES,
+            page_modes=(False, True),
+            config=SimConfig(num_refs=golden["refs"]),
+            jobs=2,
+        )
+        assert not results.failures
+        for rec in golden["results"]:
+            run = results.get(golden["workload"], rec["scheme"], rec["thp"])
+            assert asdict(run) == rec, (rec["scheme"], rec["thp"])
+
+    def test_golden_covers_every_builtin(self, golden):
+        covered = {r["scheme"] for r in golden["results"]}
+        assert covered == set(EXTENDED_SCHEMES)
+
+
+# -- the extension point ------------------------------------------------
+
+class TestCustomScheme:
+    def test_runs_serially(self, gups):
+        result = Simulator("toy-hashed", gups, SimConfig(num_refs=REFS)).run()
+        assert result.scheme == "toy-hashed"
+        assert result.walks > 0
+        assert result.cycles > 0
+        assert result.table_bytes > 0
+
+    def test_serial_and_parallel_bit_identical(self):
+        cfg = SimConfig(num_refs=REFS)
+        serial = run_suite(
+            ["gups"], ["toy-hashed"], page_modes=(False,), config=cfg, jobs=1
+        )
+        parallel = run_suite(
+            ["gups"], ["toy-hashed"], page_modes=(False,), config=cfg, jobs=2
+        )
+        assert len(serial.results) == len(parallel.results) == 1
+        assert asdict(serial.results[0]) == asdict(parallel.results[0])
+
+    def test_alias_canonicalizes_everywhere(self, gups):
+        sim = Simulator("toyhash", gups, SimConfig(num_refs=100))
+        assert sim.scheme == "toy-hashed"
+        results = run_suite(
+            ["gups"], ["toyhash"], page_modes=(False,),
+            config=SimConfig(num_refs=100),
+        )
+        assert results.results[0].scheme == "toy-hashed"
+
+    def test_descriptor_instance_accepted_directly(self, gups):
+        unregistered = ToyHashedScheme()
+        result = Simulator(unregistered, gups, SimConfig(num_refs=100)).run()
+        assert result.scheme == "toy-hashed"
+
+
+# -- registry semantics -------------------------------------------------
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        assert registry.core_schemes() == ("radix", "ecpt", "lvm", "ideal")
+        assert SCHEMES == ("radix", "ecpt", "lvm", "ideal")
+        assert EXTENDED_SCHEMES == SCHEMES + ("fpt", "asap", "midgard")
+
+    def test_aliases_resolve(self):
+        assert registry.canonical_name("cuckoo") == "ecpt"
+        assert registry.canonical_name("x86") == "radix"
+        assert registry.canonical_name("learned") == "lvm"
+        assert registry.get("oracle") is registry.get("ideal")
+
+    def test_unknown_scheme_lists_available(self):
+        with pytest.raises(UnknownSchemeError, match="radix.*lvm"):
+            registry.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register(ToyHashedScheme())
+        # replace=True swaps the registration in place.
+        replacement = registry.register(ToyHashedScheme(), replace=True)
+        assert registry.get("toy-hashed") is replacement
+
+    def test_provider_module_recorded(self):
+        assert registry.provider_module("toy-hashed") == __name__
+        assert registry.provider_module("lvm") == "repro.schemes.lvm"
+
+    def test_ecpt_sizing_defined_once(self):
+        assert ECPTScheme.initial_size_for_scale(1) == 16384
+        assert ECPTScheme.initial_size_for_scale(64) == 256
+        assert ECPTScheme.initial_size_for_scale(1 << 20) == 256
+
+
+# -- eager validation ---------------------------------------------------
+
+class TestEagerValidation:
+    def test_run_suite_serial_rejects_up_front(self):
+        with pytest.raises(UnknownSchemeError, match="registered schemes"):
+            run_suite(["gups"], ["nope"], config=SimConfig(num_refs=100))
+
+    def test_run_suite_parallel_rejects_before_forking(self):
+        with pytest.raises(UnknownSchemeError, match="registered schemes"):
+            run_suite(
+                ["gups"], ["nope"], config=SimConfig(num_refs=100), jobs=2
+            )
+
+    def test_cli_rejects_unknown_scheme_with_exit_2(self, capsys):
+        code = cli_main(["fig9", "--refs", "100", "--schemes", "bogus"])
+        assert code == 2
+        assert "registered schemes" in capsys.readouterr().err
+
+    def test_cli_schemes_listing(self, capsys):
+        assert cli_main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in EXTENDED_SCHEMES:
+            assert name in out
+        assert "lwc" in out and "cwc" in out and "pwc" in out
+
+
+# -- capability flags ---------------------------------------------------
+
+class TestCapabilities:
+    def test_virtualization_capable_schemes(self):
+        assert set(registry.virtualization_schemes()) == {"radix", "lvm"}
+
+    def test_host_mapping_via_registry(self):
+        table = build_host_mapping(64, BumpAllocator(base=1 << 40), "x86")
+        assert isinstance(table, RadixPageTable)
+
+    def test_host_mapping_rejects_incapable_scheme(self):
+        with pytest.raises(SchemeCapabilityError, match="virtualization"):
+            build_host_mapping(64, BumpAllocator(base=1 << 40), "ecpt")

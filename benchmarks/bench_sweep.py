@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Sweep-engine benchmark: serial vs parallel vs TLB fast path.
 
-Times three things and writes ``BENCH_sweep.json`` at the repo root:
+Times four things and writes ``BENCH_sweep.json`` at the repo root:
 
 1. **Single-run translate loop** — refs/sec with the L1 front index
    (``TLBConfig.front_index``) off vs on, per workload.  This A/Bs the
@@ -12,6 +12,12 @@ Times three things and writes ``BENCH_sweep.json`` at the repo root:
 3. **Parallel sweep** — the same grid with ``jobs=N`` worker
    processes, plus an assertion that the ResultSet matches the serial
    one field for field.
+4. **Supervision overhead** — the same parallel grid with per-run
+   deadlines and retries armed (journal off), asserting bit-identity
+   and reporting the extra parent CPU the supervisor's deadline
+   bookkeeping costs, as a fraction of the sweep's total CPU;
+   ``--max-overhead 0.02`` makes CI fail if it exceeds the PR-4
+   budget of 2%.
 
 Not a pytest file on purpose: wall-clock comparisons want a quiet,
 sequential process, not pytest's collection order.  Run via
@@ -25,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 import time
 from dataclasses import asdict
@@ -134,6 +141,93 @@ def bench_sweep(workloads, schemes, refs: int, jobs: int) -> dict:
     }
 
 
+def bench_supervision(workloads, schemes, refs: int, jobs: int) -> dict:
+    """Parallel sweep with supervision armed (deadlines + retries,
+    journal off) vs without — the journal-off path must stay within
+    the PR-4 overhead budget (<2%).
+
+    The two variants differ only in the *parent's* wait loop — the
+    workers execute byte-identical code — so the honest measurement is
+    the parent's own CPU time (``RUSAGE_SELF``), not wall clock or
+    total CPU: on a loaded or virtualised box those drift by ±10%,
+    two orders of magnitude above the effect being gated.  Each round
+    runs the pair back to back; the per-round overhead is the *extra*
+    parent CPU the armed variant spent, normalised by the whole
+    sweep's CPU (parent + reaped workers, so the ratio means "fraction
+    of the sweep spent supervising"), and the gate takes the median
+    across rounds.  A busy-wait regression in the wait loop shows up
+    here at full strength; scheduler noise does not."""
+    cfg = SimConfig(num_refs=refs)
+    grid = len(workloads) * len(schemes) * 2
+
+    def parent_cpu():
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return usage.ru_utime + usage.ru_stime
+
+    def children_cpu():
+        # run_suite joins its pool before returning, so worker CPU has
+        # landed in RUSAGE_CHILDREN by the time the probe runs.
+        usage = resource.getrusage(resource.RUSAGE_CHILDREN)
+        return usage.ru_utime + usage.ru_stime
+
+    def timed(**kwargs):
+        parent_start, children_start = parent_cpu(), children_cpu()
+        start = time.perf_counter()
+        results = run_suite(
+            list(workloads), list(schemes), config=cfg, jobs=jobs, **kwargs
+        )
+        wall = time.perf_counter() - start
+        parent = parent_cpu() - parent_start
+        total = parent + children_cpu() - children_start
+        return wall, parent, total, results
+
+    # A deadline far above any real run: the sweep pays the deadline
+    # bookkeeping on every wait-loop turn but never trips it.
+    armed = dict(run_timeout=3600.0, retries=2)
+    overheads = []
+    plain_wall = supervised_wall = None
+    plain_parent = supervised_parent = None
+    plain = supervised = None
+    for _ in range(BEST_OF):
+        wall, parent, total, results = timed()
+        if plain_wall is None or wall < plain_wall:
+            plain_wall, plain = wall, results
+        if plain_parent is None or parent < plain_parent:
+            plain_parent = parent
+        sup_wall, sup_parent, _, sup_results = timed(**armed)
+        if supervised_wall is None or sup_wall < supervised_wall:
+            supervised_wall, supervised = sup_wall, sup_results
+        if supervised_parent is None or sup_parent < supervised_parent:
+            supervised_parent = sup_parent
+        overheads.append(max(0.0, sup_parent - parent) / total)
+    for a, b in zip(plain.results, supervised.results):
+        if asdict(a) != asdict(b):
+            raise AssertionError(
+                f"supervised sweep diverged on ({a.workload}, {a.scheme}) — "
+                "supervision must never change the numbers"
+            )
+    overhead = sorted(overheads)[len(overheads) // 2]
+    print(
+        f"  plain    {grid} runs: parent {plain_parent:.3f} CPU-s "
+        f"({plain_wall:.2f}s wall, best)\n"
+        f"  deadline {grid} runs: parent {supervised_parent:.3f} CPU-s "
+        f"({supervised_wall:.2f}s wall, best)  "
+        f"(median supervision overhead {overhead:.2%} of sweep CPU)"
+    )
+    return {
+        "grid_runs": grid,
+        "refs_per_run": refs,
+        "jobs": jobs,
+        "rounds": BEST_OF,
+        "plain_parent_cpu_seconds": round(plain_parent, 4),
+        "supervised_parent_cpu_seconds": round(supervised_parent, 4),
+        "plain_wall_seconds": round(plain_wall, 3),
+        "supervised_wall_seconds": round(supervised_wall, 3),
+        "round_overheads": [round(r, 6) for r in overheads],
+        "overhead": round(overhead, 6),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -160,6 +254,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help="fail (exit 1) if supervision CPU-time overhead on the "
+             "journal-off path exceeds this fraction (CI passes 0.02)",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -174,6 +275,10 @@ def main(argv=None) -> int:
     fastpath = bench_fastpath(args.workloads, args.refs)
     print("sweep (serial vs parallel, identical grids):")
     sweep = bench_sweep(args.workloads, args.schemes, args.refs, args.jobs)
+    print("supervision (deadlines+retries armed vs off, journal off):")
+    supervision = bench_supervision(
+        args.workloads, args.schemes, args.refs, args.jobs
+    )
 
     payload = {
         "cpu_count": cpus,
@@ -182,9 +287,19 @@ def main(argv=None) -> int:
         "schemes": list(args.schemes),
         "fastpath": fastpath,
         "sweep": sweep,
+        "supervision": supervision,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if (
+        args.max_overhead is not None
+        and supervision["overhead"] > args.max_overhead
+    ):
+        print(
+            f"FAIL: supervision overhead {supervision['overhead']:.2%} "
+            f"of sweep CPU exceeds the {args.max_overhead:.1%} budget"
+        )
+        return 1
     return 0
 
 

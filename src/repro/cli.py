@@ -19,6 +19,13 @@ Typed failures map to exit codes: 2 for configuration errors, 3 for
 any other simulator error, 130 on interrupt.  ``--fail-fast`` makes
 sweep commands abort on the first failing run instead of collecting
 failures and finishing the remaining combinations.
+
+Long sweeps are crash-safe: ``--journal PATH`` checkpoints every
+completed cell, ``--resume`` replays the journal and re-runs only the
+remainder (a journal from a different configuration is rejected with
+exit 2), and ``--run-timeout``/``--retries`` bound hung or crashed
+runs.  Ctrl-C drains in-flight runs, flushes the journal, prints a
+resume hint, and exits 130.
 """
 
 from __future__ import annotations
@@ -76,12 +83,16 @@ def _suite_results(args):
     print(f"running sweep: {names or SUITE} x {tuple(schemes)} "
           f"x (4KB, THP), {args.refs} refs each"
           + (f", {jobs} worker processes" if jobs > 1 else "")
+          + (f", journal={args.journal}" if args.journal else "")
+          + (" (resuming)" if args.resume else "")
           + "...", file=sys.stderr)
     results = run_suite(
         workload_names=names, schemes=schemes, config=config,
         verbose=args.verbose,
         on_error="raise" if args.fail_fast else "collect",
         jobs=jobs,
+        journal=args.journal, resume=args.resume,
+        run_timeout=args.run_timeout, retries=args.retries,
     )
     _report_failures(results)
     return results
@@ -286,6 +297,7 @@ def cmd_chaos(args) -> None:
             config=config, verbose=args.verbose,
             on_error="raise" if args.fail_fast else "collect",
             jobs=args.jobs,
+            run_timeout=args.run_timeout, retries=args.retries,
         )
         _report_failures(results)
         for r in results.results:
@@ -357,6 +369,29 @@ def build_parser() -> argparse.ArgumentParser:
              "collecting failures and finishing the sweep",
     )
     parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint every completed sweep cell to this append-only "
+             "JSONL journal; an interrupted sweep can then be resumed "
+             "with --resume without losing finished cells",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed cells from --journal and re-run only the "
+             "remainder (bit-identical to an uninterrupted sweep); a "
+             "journal from a different configuration is rejected (exit 2)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per simulation run; a run exceeding it "
+             "is killed and retried (see --retries)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for runs that hang or whose worker crashes "
+             "(default 2); a run failing every attempt is quarantined "
+             "as a structured failure, never silently dropped",
+    )
+    parser.add_argument(
         "--fault-rate", type=float, default=1e-3,
         help="per-opportunity fault rate for the chaos command (default 1e-3)",
     )
@@ -368,9 +403,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(args) -> None:
+    """Cross-flag checks argparse cannot express; every violation is a
+    :class:`ConfigError`, i.e. exit code 2."""
+    if args.jobs < 1:
+        raise ConfigError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        raise ConfigError(
+            f"--run-timeout must be positive, got {args.run_timeout}"
+        )
+    if args.retries is not None and args.retries < 0:
+        raise ConfigError(f"--retries must be >= 0, got {args.retries}")
+    if args.resume and not args.journal:
+        raise ConfigError("--resume requires --journal PATH")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
     try:
+        # Parsing sits inside the try: building the parser evaluates
+        # default_jobs(), so a malformed REPRO_JOBS is reported as the
+        # configuration error it is, not a traceback.
+        args = build_parser().parse_args(argv)
+        _validate_args(args)
         COMMANDS[args.command](args)
     except ConfigError as exc:
         print(f"repro: configuration error: {exc}", file=sys.stderr)
@@ -378,8 +432,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 3
-    except KeyboardInterrupt:
+    except KeyboardInterrupt as exc:
+        # SweepInterrupted (a KeyboardInterrupt subclass) arrives here
+        # after the supervisor drained in-flight runs and flushed the
+        # journal; plain Ctrl-C outside a journaled sweep stays terse.
         print("repro: interrupted", file=sys.stderr)
+        journal_path = getattr(exc, "journal_path", None)
+        if journal_path:
+            print(
+                f"repro: {exc.completed}/{exc.total} cells journaled in "
+                f"{journal_path}; resume with: "
+                "the same command plus --resume",
+                file=sys.stderr,
+            )
         return 130
     return 0
 

@@ -23,6 +23,20 @@ bugs.  The hierarchy mirrors the fault model documented in
 * :class:`RecoveryExhaustedError` — the graceful-degradation ladder
   (bounded probe → leaf scan → leaf retrain → full rebuild) ran out of
   rungs without restoring a correct translation.
+* :class:`SweepError` — *host-level* sweep-execution failures (a hung
+  or crashed worker process, a quarantined spec), as opposed to the
+  *simulated* failures above.  Raised by the sweep supervisor
+  (``sim/supervisor.py``), never by the simulator itself.
+* :class:`JournalError` / :class:`JournalMismatchError` — the run
+  journal (``sim/journal.py``) is unusable, or was written by a sweep
+  with a different configuration fingerprint (the mismatch variant is
+  also a :class:`ConfigError`, so the CLI maps it to exit code 2).
+
+:class:`SweepInterrupted` stands apart: it subclasses
+``KeyboardInterrupt`` (NOT :class:`ReproError`) so a drained Ctrl-C
+still rides the interpreter's interrupt path to the CLI's exit-130
+handler — while carrying the journal path needed to print a
+"resume with ..." hint.
 """
 
 from __future__ import annotations
@@ -94,3 +108,49 @@ class FaultInjectionError(ConfigError):
 
 class RecoveryExhaustedError(CorruptionError):
     """Every rung of the degradation ladder failed to recover."""
+
+
+class SweepError(ReproError):
+    """Host-level sweep-execution failure (supervisor territory)."""
+
+
+class SpecTimeoutError(SweepError):
+    """One run attempt exceeded its wall-clock deadline in the parent."""
+
+
+class WorkerCrashError(SweepError):
+    """A worker process died (killed, OOM, segfault) mid-attempt."""
+
+
+class SpecQuarantinedError(SweepError):
+    """A spec exhausted its retry budget and was quarantined.
+
+    The message records the attempt count and the last host-level
+    failure, so a quarantined cell is a structured entry in
+    ``ResultSet.failures`` — never a silently dropped cell."""
+
+
+class JournalError(ReproError):
+    """The run journal cannot be read or written."""
+
+
+class JournalMismatchError(JournalError, ConfigError):
+    """An existing journal's config fingerprint (or schema version)
+    does not match the sweep being resumed.  Also a
+    :class:`ConfigError`, so the CLI rejects the stale journal with
+    exit code 2 instead of silently mixing incompatible results."""
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """A sweep was interrupted (SIGINT/SIGTERM) and drained cleanly.
+
+    Subclasses ``KeyboardInterrupt`` — not :class:`ReproError` — so it
+    reaches the CLI's exit-130 interrupt handler, carrying enough
+    context to print a resume hint."""
+
+    def __init__(self, journal_path=None, completed=0, total=0):
+        self.journal_path = journal_path
+        self.completed = completed
+        self.total = total
+        detail = f"sweep interrupted ({completed}/{total} cells completed)"
+        super().__init__(detail)

@@ -8,10 +8,12 @@ from repro.sim.config import (
     SimConfig,
     table1_rows,
 )
+from repro.sim.journal import RunJournal, config_fingerprint
 from repro.sim.parallel import RunSpec, default_jobs
 from repro.sim.results import ResultSet, RunFailure, SimResult, geomean, mean
 from repro.sim.runner import run_suite, summarize_speedups
 from repro.sim.simulator import Simulator, simulate
+from repro.sim.supervisor import SupervisorPolicy, run_specs_supervised
 
 __all__ = [
     "CoreModel",
@@ -19,14 +21,18 @@ __all__ = [
     "LVMCostModel",
     "ResultSet",
     "RunFailure",
+    "RunJournal",
     "RunSpec",
     "SCHEMES",
     "SimConfig",
     "SimResult",
     "Simulator",
+    "SupervisorPolicy",
+    "config_fingerprint",
     "default_jobs",
     "geomean",
     "mean",
+    "run_specs_supervised",
     "run_suite",
     "simulate",
     "summarize_speedups",

@@ -29,13 +29,17 @@ Workers cache built workloads in a module global keyed by (name,
 scale, seed): the first spec touching a workload pays the build cost,
 subsequent specs in the same worker reuse it — mirroring the serial
 path's build-once-per-name dictionary.
+
+Execution itself lives in :mod:`repro.sim.supervisor` since PR 4: this
+module owns the *description* layer (specs, the worker function, the
+worker-side cache), the supervisor owns the pool — deadlines, retries,
+pool respawn, journal checkpointing, and graceful shutdown.
 """
 
 from __future__ import annotations
 
 import importlib
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -80,11 +84,24 @@ class RunSpec:
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial).
+
+    A malformed value is a configuration mistake, not a silent
+    fallback: ``REPRO_JOBS=abc`` or ``-3`` raises :class:`ConfigError`
+    naming the offending value (the CLI maps it to exit code 2).
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or raw == "":
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_JOBS={raw!r} is not an integer worker count"
+        ) from None
+    if jobs < 1:
+        raise ConfigError(f"REPRO_JOBS={raw!r} must be >= 1")
+    return jobs
 
 
 def make_specs(
@@ -164,52 +181,17 @@ def run_specs_parallel(
 ) -> ResultSet:
     """Run ``specs`` across ``jobs`` worker processes.
 
-    Futures complete in any order; outcomes are slotted by spec index
-    and folded into the :class:`ResultSet` in spec order, so the
-    returned set is field-for-field identical to the serial sweep's.
+    Since PR 4 this is a thin wrapper over the sweep supervisor
+    (:mod:`repro.sim.supervisor`) with its default policy: no per-spec
+    deadline, but worker crashes (``BrokenProcessPool``) respawn the
+    pool and retry instead of poisoning the whole sweep, and a
+    KeyboardInterrupt drains in-flight futures and shuts the pool down
+    instead of leaking it.  Outcomes are still slotted by spec index
+    and folded in spec order, so the returned set is field-for-field
+    identical to the serial sweep's.
     """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
-    outcomes: List[Optional[tuple]] = [None] * len(specs)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pending = {
-            pool.submit(_worker_run, spec): idx
-            for idx, spec in enumerate(specs)
-        }
-        try:
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    idx = pending.pop(future)
-                    status, payload = future.result()  # non-ReproError raises
-                    outcomes[idx] = (status, payload)
-                    if status == "error" and on_error == "raise":
-                        raise payload
-                    if verbose:
-                        spec = specs[idx]
-                        if status == "ok":
-                            print(
-                                f"  {spec.workload:6s} {spec.scheme:7s} "
-                                f"thp={int(spec.thp)} "
-                                f"cycles={payload.cycles/1e6:8.2f}M "
-                                f"mmu={payload.mmu_cycles/1e6:6.2f}M "
-                                f"traffic={payload.walk_traffic:8d}"
-                            )
-                        else:
-                            print(
-                                f"  {spec.workload:6s} {spec.scheme:7s} "
-                                f"thp={int(spec.thp)} "
-                                f"FAILED: {type(payload).__name__}: {payload}"
-                            )
-        except BaseException:
-            for future in pending:
-                future.cancel()
-            raise
-    results = ResultSet()
-    for spec, outcome in zip(specs, outcomes):
-        status, payload = outcome
-        if status == "ok":
-            results.add(payload)
-        else:
-            results.add_failure(spec.workload, spec.scheme, spec.thp, payload)
-    return results
+    from repro.sim.supervisor import run_specs_supervised
+
+    return run_specs_supervised(
+        specs, jobs=jobs, on_error=on_error, verbose=verbose
+    )

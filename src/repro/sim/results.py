@@ -68,6 +68,16 @@ class SimResult:
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2)
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "SimResult":
+        """Inverse of ``dataclasses.asdict``.
+
+        JSON round-trips every field exactly (floats serialize via
+        ``repr``), so a result replayed from the run journal or a saved
+        ResultSet is bit-identical to the freshly-computed one.
+        """
+        return cls(**record)
+
 
 @dataclass
 class RunFailure:
@@ -78,6 +88,10 @@ class RunFailure:
     thp: bool
     error: str  # exception class name
     message: str
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "RunFailure":
+        return cls(**record)
 
 
 class ResultSet:
@@ -110,7 +124,7 @@ class ResultSet:
         from pathlib import Path
 
         records = json.loads(Path(path).read_text())
-        return ResultSet(SimResult(**record) for record in records)
+        return ResultSet(SimResult.from_dict(record) for record in records)
 
     def get(self, workload: str, scheme: str, thp: bool) -> SimResult:
         for r in self.results:

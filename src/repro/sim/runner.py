@@ -3,17 +3,26 @@
 ``run_suite`` produces the single :class:`ResultSet` from which every
 figure of section 7.1/7.2 is derived, exactly as the paper derives
 Figures 9-12 from one set of simulations.
+
+Long sweeps can be made crash-safe: ``journal=path`` checkpoints every
+completed cell to an append-only JSONL journal
+(:mod:`repro.sim.journal`), and ``resume=True`` replays journal hits
+instead of re-running them — a resumed sweep is bit-identical to an
+uninterrupted one.  ``run_timeout``/``retries`` engage the sweep
+supervisor (:mod:`repro.sim.supervisor`) for per-run deadlines and
+bounded retry of hung or crashed workers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SweepInterrupted
 from repro.schemes import registry as scheme_registry
 from repro.sim.config import SCHEMES, SimConfig
-from repro.sim.parallel import make_specs, run_specs_parallel
-from repro.sim.results import ResultSet
+from repro.sim.journal import RunJournal
+from repro.sim.parallel import make_specs
+from repro.sim.results import ResultSet, RunFailure
 from repro.sim.simulator import Simulator
 from repro.workloads.registry import SUITE, BuiltWorkload, build_workload
 
@@ -26,6 +35,10 @@ def run_suite(
     verbose: bool = False,
     on_error: str = "raise",
     jobs: int = 1,
+    journal: Optional[Union[str, "RunJournal"]] = None,
+    resume: bool = False,
+    run_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> ResultSet:
     """Run every (workload, scheme, thp) combination.
 
@@ -39,8 +52,20 @@ def run_suite(
     (genuine bugs) always propagate.
 
     ``jobs`` > 1 fans the combinations out across that many worker
-    processes (:mod:`repro.sim.parallel`); results are bit-identical to
-    the serial sweep and come back in the same order.
+    processes under the sweep supervisor
+    (:mod:`repro.sim.supervisor`); results are bit-identical to the
+    serial sweep and come back in the same order.
+
+    ``journal`` names a crash-safe run journal (a path, or an
+    already-open :class:`RunJournal`): every completed cell is
+    checkpointed as it finishes.  ``resume=True`` loads the journal
+    first — rejecting one written under a different config with
+    :class:`~repro.errors.JournalMismatchError` — and re-runs only the
+    cells it does not hold.  ``run_timeout`` (seconds per run) and
+    ``retries`` (extra attempts for hung/crashed runs, default 2)
+    engage supervised execution; a ``run_timeout`` with ``jobs=1``
+    still runs through a one-worker pool, since only a subprocess can
+    be killed on deadline.
     """
     if on_error not in ("raise", "collect"):
         raise ConfigError(
@@ -48,6 +73,8 @@ def run_suite(
         )
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if resume and journal is None:
+        raise ConfigError("resume=True requires a journal path")
     base = config or SimConfig()
     names = list(workload_names or SUITE)
     # Resolve every scheme through the registry up front: a typo'd name
@@ -56,14 +83,71 @@ def run_suite(
     # parallel sweeps record identical ``SimResult.scheme`` strings.
     schemes = [scheme_registry.canonical_name(s) for s in schemes]
     page_modes = list(page_modes)
-    if jobs > 1:
-        specs = make_specs(names, schemes, page_modes, base)
-        return run_specs_parallel(
-            specs, jobs=jobs, on_error=on_error, verbose=verbose
+
+    owns_journal = journal is not None and not isinstance(journal, RunJournal)
+    jnl: Optional[RunJournal] = (
+        RunJournal.open(journal, base, resume=resume)
+        if owns_journal
+        else journal
+    )
+    try:
+        if jobs > 1 or run_timeout is not None:
+            from repro.sim.supervisor import (
+                SupervisorPolicy,
+                run_specs_supervised,
+            )
+
+            policy = SupervisorPolicy(
+                run_timeout=run_timeout,
+                retries=2 if retries is None else retries,
+            )
+            specs = make_specs(names, schemes, page_modes, base)
+            return run_specs_supervised(
+                specs,
+                jobs=jobs,
+                on_error=on_error,
+                verbose=verbose,
+                journal=jnl,
+                policy=policy,
+            )
+        return _run_serial(
+            names, schemes, page_modes, base, verbose, on_error, jnl
         )
-    results = ResultSet()
+    finally:
+        if owns_journal and jnl is not None:
+            jnl.close()
+
+
+def _run_serial(
+    names: List[str],
+    schemes: List[str],
+    page_modes: List[bool],
+    base: SimConfig,
+    verbose: bool,
+    on_error: str,
+    jnl: Optional[RunJournal],
+) -> ResultSet:
+    """The in-process sweep loop, with optional journal checkpoints."""
+    cells = [
+        (thp, name, scheme)
+        for thp in page_modes
+        for name in names
+        for scheme in schemes
+    ]
+    # Build each workload once — but only the ones some non-journaled
+    # cell still needs: resuming an almost-finished sweep must not
+    # rebuild multi-second workloads for fully-journaled names.
+    needed = []
+    for thp, name, scheme in cells:
+        if jnl is not None and (
+            jnl.result_for(name, scheme, thp) is not None
+            or jnl.failure_for(name, scheme, thp) is not None
+        ):
+            continue
+        if name not in needed:
+            needed.append(name)
     built: Dict[str, BuiltWorkload] = {}
-    for name in names:
+    for name in needed:
         try:
             built[name] = build_workload(
                 name, scale=base.footprint_scale, seed=base.workload_seed
@@ -72,31 +156,62 @@ def run_suite(
             # A typo'd workload name is a configuration mistake, not a
             # crash: surface it as the CLI's one-line exit-code-2 path.
             raise ConfigError(exc.args[0] if exc.args else str(exc)) from exc
-    for thp in page_modes:
-        for name in names:
-            for scheme in schemes:
-                cfg = base.clone(thp=thp)
-                try:
-                    sim = Simulator(scheme, built[name], cfg)
-                    result = sim.run()
-                except ReproError as exc:
-                    if on_error == "raise":
-                        raise
-                    results.add_failure(name, scheme, thp, exc)
-                    if verbose:
-                        print(
-                            f"  {name:6s} {scheme:7s} thp={int(thp)} "
-                            f"FAILED: {type(exc).__name__}: {exc}"
-                        )
+    results = ResultSet()
+    try:
+        for thp, name, scheme in cells:
+            if jnl is not None:
+                hit = jnl.result_for(name, scheme, thp)
+                if hit is not None:
+                    results.add(hit)
                     continue
-                results.add(result)
+                failure = jnl.failure_for(name, scheme, thp)
+                if failure is not None:
+                    if on_error == "raise":
+                        raise ReproError(
+                            f"journaled failure for {name}/{scheme}/"
+                            f"thp={int(thp)}: {failure.error}: "
+                            f"{failure.message}"
+                        )
+                    results.failures.append(failure)
+                    continue
+            cfg = base.clone(thp=thp)
+            try:
+                result = Simulator(scheme, built[name], cfg).run()
+            except ReproError as exc:
+                if on_error == "raise":
+                    raise
+                failure = RunFailure(
+                    name, scheme, thp, type(exc).__name__, str(exc)
+                )
+                results.failures.append(failure)
+                if jnl is not None:
+                    jnl.record_failure(name, scheme, thp, failure)
                 if verbose:
                     print(
                         f"  {name:6s} {scheme:7s} thp={int(thp)} "
-                        f"cycles={result.cycles/1e6:8.2f}M "
-                        f"mmu={result.mmu_cycles/1e6:6.2f}M "
-                        f"traffic={result.walk_traffic:8d}"
+                        f"FAILED: {type(exc).__name__}: {exc}"
                     )
+                continue
+            results.add(result)
+            if jnl is not None:
+                jnl.record_result(name, scheme, thp, result)
+            if verbose:
+                print(
+                    f"  {name:6s} {scheme:7s} thp={int(thp)} "
+                    f"cycles={result.cycles/1e6:8.2f}M "
+                    f"mmu={result.mmu_cycles/1e6:6.2f}M "
+                    f"traffic={result.walk_traffic:8d}"
+                )
+    except KeyboardInterrupt:
+        if jnl is not None:
+            # Completed cells are already durably journaled; hand the
+            # CLI enough context for its "resume with ..." hint.
+            raise SweepInterrupted(
+                journal_path=jnl.path,
+                completed=len(results.results) + len(results.failures),
+                total=len(cells),
+            ) from None
+        raise
     return results
 
 

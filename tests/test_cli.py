@@ -22,6 +22,36 @@ class TestParser:
             build_parser().parse_args(["nope"])
 
 
+class TestArgumentValidation:
+    """Supervision flags are validated up front: every violation is a
+    one-line configuration error with exit code 2."""
+
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["tab1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        assert main(["tab1", "--jobs", "-4"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_run_timeout_must_be_positive(self, capsys):
+        assert main(["tab1", "--run-timeout", "0"]) == 2
+        assert "--run-timeout" in capsys.readouterr().err
+
+    def test_retries_cannot_be_negative(self, capsys):
+        assert main(["tab1", "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["suite", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_malformed_repro_jobs_env_is_exit_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert main(["tab1"]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_tab1(self, capsys):
         assert main(["tab1"]) == 0

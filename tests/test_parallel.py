@@ -111,12 +111,21 @@ class TestDefaultJobs:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert default_jobs() == 1
 
-    def test_garbage_falls_back_to_serial(self, monkeypatch):
-        monkeypatch.setenv("REPRO_JOBS", "many")
-        assert default_jobs() == 1
+    def test_garbage_is_a_config_error(self, monkeypatch):
+        """A malformed REPRO_JOBS is a configuration mistake naming the
+        offending value, not a silent fallback to serial."""
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(ConfigError, match="'abc'"):
+            default_jobs()
         monkeypatch.setenv("REPRO_JOBS", "-3")
-        assert default_jobs() == 1
+        with pytest.raises(ConfigError, match="'-3'"):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigError, match="'0'"):
+            default_jobs()
 
 
 class TestSummarizeSpeedups:

@@ -1,0 +1,373 @@
+"""Chaos tests for the sweep supervisor (`repro.sim.supervisor`) and
+the crash-safe run journal (`repro.sim.journal`).
+
+The properties pinned here are the ones a long evaluation depends on:
+
+* a worker killed mid-sweep is retried and the sweep's ResultSet is
+  bit-identical to a serial run, with zero lost or duplicated cells;
+* a hung run is timed out in the parent, retried, and finally
+  quarantined as a structured failure carrying its attempt count;
+* a sweep checkpointed to a journal — even one with a torn final
+  record — resumes to a ResultSet bit-identical to the golden
+  pre-refactor cells;
+* a journal written under a different configuration is rejected with
+  a typed ``JournalMismatchError`` (exit code 2 through the CLI).
+"""
+
+import json
+import os
+import signal
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    ConfigError,
+    JournalMismatchError,
+    SpecQuarantinedError,
+    SweepInterrupted,
+)
+from repro.schemes import registry
+from repro.schemes.radix import RadixScheme
+from repro.sim import SimConfig, run_suite
+from repro.sim.journal import RunJournal, config_fingerprint, spec_key
+from repro.sim.parallel import make_specs
+from repro.sim.results import RunFailure, SimResult
+from repro.sim.supervisor import (
+    SupervisorPolicy,
+    SweepSupervisor,
+    run_specs_supervised,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_cells.json"
+REFS = 1_000
+
+
+# -- chaos schemes: defined here, registered for this module only -------
+
+class KamikazeScheme(RadixScheme):
+    """Radix clone that SIGKILLs its worker the first time any process
+    tries to build it, then behaves exactly like radix.  The sentinel
+    file is what makes "first time" survive the process boundary."""
+
+    name = "kamikaze"
+    aliases = ()
+    core = False
+    sentinel: Path = None  # set by the fixture
+
+    def make_page_table(self, sim):
+        if not self.sentinel.exists():
+            self.sentinel.write_text("died once")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().make_page_table(sim)
+
+
+class SleeperScheme(RadixScheme):
+    """Radix clone that hangs long past any test deadline."""
+
+    name = "sleeper"
+    aliases = ()
+    core = False
+
+    def make_page_table(self, sim):
+        time.sleep(300)
+        return super().make_page_table(sim)  # pragma: no cover
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _chaos_schemes(tmp_path_factory):
+    KamikazeScheme.sentinel = tmp_path_factory.mktemp("chaos") / "died-once"
+    kamikaze = registry.register(KamikazeScheme())
+    sleeper = registry.register(SleeperScheme())
+    yield
+    registry.unregister(kamikaze.name)
+    registry.unregister(sleeper.name)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+# -- worker supervision -------------------------------------------------
+
+class TestWorkerKill:
+    @pytest.mark.timeout(180)
+    def test_killed_worker_is_retried_bit_identically(self):
+        """A SIGKILLed worker breaks the pool; the supervisor respawns
+        it and retries — the sweep ends with every cell present
+        exactly once, field-for-field equal to a serial run."""
+        cfg = SimConfig(num_refs=REFS)
+        assert not KamikazeScheme.sentinel.exists()
+        parallel = run_suite(
+            ["gups"], ["radix", "kamikaze"], config=cfg, jobs=2,
+            on_error="collect",
+        )
+        assert KamikazeScheme.sentinel.exists(), "worker never died"
+        # The sentinel now exists, so a serial run survives.
+        serial = run_suite(
+            ["gups"], ["radix", "kamikaze"], config=cfg, jobs=1,
+            on_error="collect",
+        )
+        assert not parallel.failures and not serial.failures
+        assert len(parallel.results) == len(serial.results) == 4
+        for a, b in zip(serial.results, parallel.results):
+            assert asdict(a) == asdict(b)
+        cells = [(r.workload, r.scheme, r.thp) for r in parallel.results]
+        assert len(cells) == len(set(cells)), "duplicated cells"
+
+    @pytest.mark.timeout(180)
+    def test_timed_out_spec_is_quarantined_with_attempt_count(self):
+        """A hung run exceeds its parent-side deadline twice (retries=1)
+        and lands in ``failures`` as a SpecQuarantinedError naming the
+        attempt count; the healthy cell still completes."""
+        cfg = SimConfig(num_refs=300)
+        results = run_suite(
+            ["gups"], ["radix", "sleeper"], page_modes=(False,),
+            config=cfg, jobs=2, on_error="collect",
+            run_timeout=6.0, retries=1,
+        )
+        assert [r.scheme for r in results.results] == ["radix"]
+        assert len(results.failures) == 1
+        failure = results.failures[0]
+        assert failure.scheme == "sleeper"
+        assert failure.error == "SpecQuarantinedError"
+        assert "2 attempts" in failure.message
+        assert "SpecTimeoutError" in failure.message
+
+    @pytest.mark.timeout(60)
+    def test_quarantine_raises_under_fail_fast(self):
+        cfg = SimConfig(num_refs=300)
+        with pytest.raises(SpecQuarantinedError, match="1 attempts"):
+            run_suite(
+                ["gups"], ["sleeper"], page_modes=(False,), config=cfg,
+                jobs=1, on_error="raise", run_timeout=2.0, retries=0,
+            )
+
+
+class TestGracefulShutdown:
+    def test_pre_signalled_supervisor_raises_sweep_interrupted(self, tmp_path):
+        """The drain path: with a stop already requested, the
+        supervisor submits nothing, flushes what it has, and raises
+        SweepInterrupted carrying the journal path and progress."""
+        cfg = SimConfig(num_refs=REFS)
+        journal_path = tmp_path / "j.jsonl"
+        # Pre-complete one cell so `completed` is non-zero.
+        run_suite(
+            ["gups"], ["radix"], page_modes=(False,), config=cfg,
+            journal=journal_path,
+        )
+        specs = make_specs(["gups"], ["radix", "lvm"], [False], cfg)
+        journal = RunJournal.open(journal_path, cfg, resume=True)
+        try:
+            supervisor = SweepSupervisor(specs, jobs=2, journal=journal)
+            supervisor._stop_signals = 1
+            with pytest.raises(SweepInterrupted) as excinfo:
+                supervisor.run()
+        finally:
+            journal.close()
+        assert excinfo.value.journal_path == journal_path
+        assert excinfo.value.completed == 1
+        assert excinfo.value.total == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError, match="run_timeout"):
+            SupervisorPolicy(run_timeout=0).validate()
+        with pytest.raises(ConfigError, match="retries"):
+            SupervisorPolicy(retries=-1).validate()
+        with pytest.raises(ConfigError, match="backoff_factor"):
+            SupervisorPolicy(backoff_factor=0.5).validate()
+        policy = SupervisorPolicy(backoff_base=0.5, backoff_factor=2.0,
+                                  backoff_max=3.0)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(10) == 3.0  # capped
+        assert policy.max_attempts == 3
+
+    def test_supervisor_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            run_specs_supervised([], jobs=0)
+        with pytest.raises(ConfigError, match="on_error"):
+            run_specs_supervised([], jobs=1, on_error="ignore")
+
+
+# -- the run journal ----------------------------------------------------
+
+class TestJournal:
+    def test_records_survive_roundtrip(self, tmp_path):
+        cfg = SimConfig(num_refs=123)
+        path = tmp_path / "j.jsonl"
+        result = SimResult("gups", "radix", False, refs=1, instructions=2,
+                           cycles=3.5)
+        failure = RunFailure("gups", "lvm", True, "ReproError", "boom")
+        with RunJournal.open(path, cfg) as journal:
+            journal.record_result("gups", "radix", False, result)
+            journal.record_failure("gups", "lvm", True, failure)
+        reloaded = RunJournal.open(path, cfg, resume=True)
+        try:
+            assert asdict(reloaded.result_for("gups", "radix", False)) == \
+                asdict(result)
+            assert reloaded.failure_for("gups", "lvm", True) == failure
+            assert reloaded.result_for("gups", "radix", True) is None
+        finally:
+            reloaded.close()
+
+    def test_every_line_is_checksummed_json(self, tmp_path):
+        cfg = SimConfig(num_refs=123)
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, cfg) as journal:
+            journal.record_result(
+                "gups", "radix", False,
+                SimResult("gups", "radix", False, 1, 2, 3.0),
+            )
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + one record
+        for line in lines:
+            wrapper = json.loads(line)
+            assert set(wrapper) == {"record", "sha256"}
+        assert json.loads(lines[0])["record"]["kind"] == "header"
+
+    def test_torn_final_record_is_dropped(self, tmp_path, capsys):
+        cfg = SimConfig(num_refs=123)
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, cfg) as journal:
+            for scheme in ("radix", "lvm"):
+                journal.record_result(
+                    "gups", scheme, False,
+                    SimResult("gups", scheme, False, 1, 2, 3.0),
+                )
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-30])  # tear the lvm record mid-line
+        reloaded = RunJournal.open(path, cfg, resume=True)
+        try:
+            assert reloaded.result_for("gups", "radix", False) is not None
+            assert reloaded.result_for("gups", "lvm", False) is None
+        finally:
+            reloaded.close()
+        assert "torn or corrupt" in capsys.readouterr().err
+
+    def test_corrupt_checksum_stops_the_load(self, tmp_path):
+        cfg = SimConfig(num_refs=123)
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, cfg) as journal:
+            for scheme in ("radix", "lvm"):
+                journal.record_result(
+                    "gups", scheme, False,
+                    SimResult("gups", scheme, False, 1, 2, 3.0),
+                )
+        lines = path.read_text().splitlines()
+        # Flip a digit inside the radix record's payload without
+        # updating its checksum: both it and the (valid) record after
+        # it must be discarded — data past corruption is suspect.
+        lines[1] = lines[1].replace('"refs": 1', '"refs": 9')
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = RunJournal.open(path, cfg, resume=True)
+        try:
+            assert reloaded.completed == {}
+        finally:
+            reloaded.close()
+
+    def test_mismatched_config_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal.open(path, SimConfig(num_refs=100)).close()
+        with pytest.raises(JournalMismatchError, match="different config"):
+            RunJournal.open(path, SimConfig(num_refs=200), resume=True)
+
+    def test_mismatched_schema_version_is_rejected(self, tmp_path):
+        from repro.sim import journal as journal_module
+
+        path = tmp_path / "j.jsonl"
+        record = {"kind": "header", "version": 99, "fingerprint": "x"}
+        path.write_text(json.dumps(
+            {"record": record, "sha256": journal_module._digest(record)}
+        ) + "\n")
+        with pytest.raises(JournalMismatchError, match="schema version"):
+            RunJournal.open(path, SimConfig(num_refs=100), resume=True)
+
+    def test_resume_without_existing_journal_starts_fresh(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        journal = RunJournal.open(path, SimConfig(num_refs=100), resume=True)
+        try:
+            assert journal.completed == {} and journal.failed == {}
+            assert path.exists()
+        finally:
+            journal.close()
+
+    def test_fingerprint_ignores_thp_but_not_refs(self):
+        base = SimConfig(num_refs=100)
+        assert config_fingerprint(base) == \
+            config_fingerprint(base.clone(thp=True))
+        assert config_fingerprint(base) != \
+            config_fingerprint(base.clone(num_refs=101))
+
+    def test_spec_key_shape(self):
+        assert spec_key("gups", "radix", True) == "gups/radix/thp=1"
+
+
+# -- crash-safe resume --------------------------------------------------
+
+class TestResume:
+    SCHEMES = ("radix", "ecpt", "lvm")
+
+    @pytest.mark.timeout(300)
+    def test_torn_journal_resumes_to_golden_cells(self, golden, tmp_path):
+        """Sweep → tear the journal mid-record → resume.  The resumed
+        ResultSet must match the pre-refactor golden cells bit for bit
+        (the acceptance criterion: resume is indistinguishable from an
+        uninterrupted run)."""
+        cfg = SimConfig(num_refs=golden["refs"])
+        path = tmp_path / "sweep.jsonl"
+        first = run_suite(
+            [golden["workload"]], self.SCHEMES, config=cfg, jobs=2,
+            journal=path,
+        )
+        assert len(first.results) == len(self.SCHEMES) * 2
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-40])  # torn write in the final record
+        resumed = run_suite(
+            [golden["workload"]], self.SCHEMES, config=cfg, jobs=2,
+            journal=path, resume=True,
+        )
+        assert not resumed.failures
+        by_cell = {
+            (rec["scheme"], rec["thp"]): rec for rec in golden["results"]
+        }
+        assert len(resumed.results) == len(self.SCHEMES) * 2
+        for run in resumed.results:
+            assert asdict(run) == by_cell[(run.scheme, run.thp)], (
+                run.scheme, run.thp,
+            )
+
+    def test_serial_resume_skips_journaled_cells(self, tmp_path):
+        """A fully-journaled serial sweep re-runs nothing: the resumed
+        set replays the journal bit-identically, fast."""
+        cfg = SimConfig(num_refs=REFS)
+        path = tmp_path / "serial.jsonl"
+        first = run_suite(["gups"], ["radix", "lvm"], config=cfg,
+                          journal=path)
+        start = time.perf_counter()
+        resumed = run_suite(["gups"], ["radix", "lvm"], config=cfg,
+                            journal=path, resume=True)
+        replay_seconds = time.perf_counter() - start
+        for a, b in zip(first.results, resumed.results):
+            assert asdict(a) == asdict(b)
+        # Replay does no simulation; give CI two orders of margin.
+        assert replay_seconds < 5.0
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ConfigError, match="journal"):
+            run_suite(["gups"], ["radix"], config=SimConfig(num_refs=100),
+                      resume=True)
+
+    def test_stale_journal_exits_2_through_cli(self, tmp_path):
+        path = tmp_path / "stale.jsonl"
+        run_suite(["gups"], ["radix"], page_modes=(False,),
+                  config=SimConfig(num_refs=200), journal=path)
+        code = cli_main([
+            "fig9", "--refs", "300", "--workloads", "gups",
+            "--schemes", "radix,lvm", "--journal", str(path), "--resume",
+        ])
+        assert code == 2

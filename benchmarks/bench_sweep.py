@@ -1,23 +1,33 @@
 #!/usr/bin/env python
-"""Sweep-engine benchmark: serial vs parallel vs TLB fast path.
+"""Sweep-engine benchmark: trace cache, serial vs parallel, TLB fast path.
 
-Times four things and writes ``BENCH_sweep.json`` at the repo root:
+Times five things and writes ``BENCH_sweep.json`` at the repo root:
 
-1. **Single-run translate loop** — refs/sec with the L1 front index
+1. **Trace-cache setup phase** — cold (build workload, synthesize,
+   pack, store) vs warm (verify checksum, memmap) pre-compilation of
+   the sweep's distinct traces, into a fresh cache directory.  The
+   warm path must be >= 5x faster — it is the reason sweep workers
+   never re-synthesize traces.
+2. **Single-run translate loop** — refs/sec with the L1 front index
    (``TLBConfig.front_index``) off vs on, per workload.  This A/Bs the
    hot-path optimisation inside one process; results are bit-identical
    either way (asserted here on every run).
-2. **Serial sweep** — ``run_suite(jobs=1)`` wall seconds over the
+3. **Serial sweep** — ``run_suite(jobs=1)`` wall seconds over the
    chosen (workload × scheme × thp) grid.
-3. **Parallel sweep** — the same grid with ``jobs=N`` worker
+4. **Parallel sweep** — the same grid with ``jobs=N`` worker
    processes, plus an assertion that the ResultSet matches the serial
-   one field for field.
-4. **Supervision overhead** — the same parallel grid with per-run
-   deadlines and retries armed (journal off), asserting bit-identity
-   and reporting the extra parent CPU the supervisor's deadline
+   one field for field.  ``jobs`` is clamped to the visible CPU count
+   (an oversubscribed pool measured 0.77x of serial here once); when
+   the clamp lands on 1 the sweep engine's own guardrail makes
+   "parallel" the serial path, reported as such with speedup 1.0.
+5. **Supervision overhead** — the parallel grid with per-run deadlines
+   and retries armed (journal off), asserting bit-identity and
+   reporting the extra parent CPU the supervisor's deadline
    bookkeeping costs, as a fraction of the sweep's total CPU;
    ``--max-overhead 0.02`` makes CI fail if it exceeds the PR-4
-   budget of 2%.
+   budget of 2%.  Both variants need a pool, so this section sets
+   ``REPRO_OVERSUBSCRIBE`` and uses at least two workers even on one
+   CPU — worker count is recorded in the JSON.
 
 Not a pytest file on purpose: wall-clock comparisons want a quiet,
 sequential process, not pytest's collection order.  Run via
@@ -33,14 +43,16 @@ import json
 import os
 import resource
 import sys
+import tempfile
 import time
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.sim.config import SimConfig
-from repro.sim.runner import run_suite
+from repro.sim.runner import _precompile_traces, run_suite
 from repro.sim.simulator import Simulator
 from repro.workloads.registry import build_workload
+from repro.workloads.trace_cache import TraceCache
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
@@ -50,6 +62,48 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
 DEFAULT_WORKLOADS = ("bfs", "gups")
 DEFAULT_SCHEMES = ("radix", "ecpt", "lvm")
 BEST_OF = 3
+# The single-run A/B is cheap (sub-second runs) but sensitive to CPU
+# contention bursts; more rounds buy stability where it is affordable.
+FASTPATH_BEST_OF = 7
+
+
+def bench_trace_cache(workloads, refs: int) -> dict:
+    """Cold vs warm sweep setup into a fresh cache directory.
+
+    This runs *first*, before any other section warms the in-process
+    workload caches: the cold number honestly includes workload
+    construction (Kronecker graph and all), exactly what a worker
+    avoided by the parent's pre-compile pass.  The warm pass is the
+    verified-checksum + memmap path — no workload is even built.
+    """
+    cfg = SimConfig(num_refs=refs)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as td:
+        cold_cache = TraceCache(td)
+        start = time.perf_counter()
+        _precompile_traces(list(workloads), cfg, cold_cache)
+        cold = time.perf_counter() - start
+        assert cold_cache.builds == len(workloads)
+
+        warm_cache = TraceCache(td)
+        start = time.perf_counter()
+        _precompile_traces(list(workloads), cfg, warm_cache)
+        warm = time.perf_counter() - start
+        assert warm_cache.hits == len(workloads) and warm_cache.builds == 0
+
+        cache_bytes = sum(e["nbytes"] for e in warm_cache.entries())
+    speedup = cold / max(warm, 1e-9)
+    print(
+        f"  setup    {len(workloads)} traces: cold {cold:.3f}s -> "
+        f"warm {warm:.4f}s  ({speedup:.0f}x)"
+    )
+    return {
+        "traces": len(list(workloads)),
+        "refs_per_trace": refs,
+        "cold_seconds": round(cold, 4),
+        "warm_seconds": round(warm, 4),
+        "speedup": round(speedup, 1),
+        "cache_bytes": cache_bytes,
+    }
 
 
 def _time_single_run(workload, refs: int, front: bool):
@@ -68,8 +122,8 @@ def bench_fastpath(workloads, refs: int) -> dict:
 
     The workload (and its memoized trace) is built once and shared, a
     warm-up run absorbs one-time costs, and each variant keeps its
-    best of ``BEST_OF`` runs — wall-clock on a busy box is noisy and
-    we are comparing code paths, not machine load.
+    best of ``FASTPATH_BEST_OF`` runs — wall-clock on a busy box is
+    noisy and we are comparing code paths, not machine load.
     """
     rows = []
     for name in workloads:
@@ -77,7 +131,7 @@ def bench_fastpath(workloads, refs: int) -> dict:
         _time_single_run(workload, refs, front=True)  # warm-up
         base_rate = base_wall = fast_rate = fast_wall = None
         base_res = fast_res = None
-        for _ in range(BEST_OF):
+        for _ in range(FASTPATH_BEST_OF):
             rate, wall, base_res = _time_single_run(workload, refs, front=False)
             if base_rate is None or rate > base_rate:
                 base_rate, base_wall = rate, wall
@@ -106,8 +160,14 @@ def bench_fastpath(workloads, refs: int) -> dict:
     return {"scheme": "radix", "refs": refs, "runs": rows}
 
 
-def bench_sweep(workloads, schemes, refs: int, jobs: int) -> dict:
-    """Serial vs parallel sweep over the full grid, asserting identity."""
+def bench_sweep(workloads, schemes, refs: int, jobs: int, requested_jobs: int) -> dict:
+    """Serial vs parallel sweep over the full grid, asserting identity.
+
+    ``jobs`` arrives already clamped to the CPU count.  At ``jobs=1``
+    the engine's guardrail means the "parallel" sweep *is* the serial
+    loop — the honest speedup is 1.0 by construction, and the JSON says
+    so instead of reporting timing noise between two identical runs.
+    """
     cfg = SimConfig(num_refs=refs)
     grid = len(workloads) * len(schemes) * 2  # thp off + on
 
@@ -119,7 +179,8 @@ def bench_sweep(workloads, schemes, refs: int, jobs: int) -> dict:
     start = time.perf_counter()
     parallel = run_suite(list(workloads), list(schemes), config=cfg, jobs=jobs)
     parallel_wall = time.perf_counter() - start
-    print(f"  jobs={jobs}   {grid} runs in {parallel_wall:.2f}s")
+    mode = "pool" if jobs > 1 else "serial-fallback"
+    print(f"  jobs={jobs}   {grid} runs in {parallel_wall:.2f}s ({mode})")
 
     for a, b in zip(serial.results, parallel.results):
         if asdict(a) != asdict(b):
@@ -129,16 +190,27 @@ def bench_sweep(workloads, schemes, refs: int, jobs: int) -> dict:
             )
 
     total_refs = refs * grid
-    return {
+    row = {
         "grid_runs": grid,
         "refs_per_run": refs,
         "jobs": jobs,
+        "requested_jobs": requested_jobs,
+        "mode": mode,
         "serial_wall_seconds": round(serial_wall, 3),
         "parallel_wall_seconds": round(parallel_wall, 3),
         "serial_refs_per_sec": round(total_refs / serial_wall, 1),
         "parallel_refs_per_sec": round(total_refs / parallel_wall, 1),
         "speedup": round(serial_wall / parallel_wall, 3),
     }
+    if jobs == 1:
+        # Identical code path on both sides; the measured walls stay in
+        # the JSON for reference but the headline number is definitional.
+        row["speedup"] = 1.0
+        row["note"] = (
+            f"requested jobs={requested_jobs} clamped to 1 visible CPU; "
+            "guardrail ran the sweep serially (pool would be slower)"
+        )
+    return row
 
 
 def bench_supervision(workloads, schemes, refs: int, jobs: int) -> dict:
@@ -156,7 +228,15 @@ def bench_supervision(workloads, schemes, refs: int, jobs: int) -> dict:
     sweep's CPU (parent + reaped workers, so the ratio means "fraction
     of the sweep spent supervising"), and the gate takes the median
     across rounds.  A busy-wait regression in the wait loop shows up
-    here at full strength; scheduler noise does not."""
+    here at full strength; scheduler noise does not.
+
+    Both variants must run through a *pool* (the armed one always
+    does; a plain ``jobs=1`` would be the serial loop and the parent
+    CPU comparison would be meaningless), so this section keeps at
+    least two workers and sets ``REPRO_OVERSUBSCRIBE`` to hold the
+    engine's CPU-count guardrail open on small machines; the worker
+    count used is in the returned dict."""
+    jobs = max(2, jobs)
     cfg = SimConfig(num_refs=refs)
     grid = len(workloads) * len(schemes) * 2
 
@@ -218,6 +298,7 @@ def bench_supervision(workloads, schemes, refs: int, jobs: int) -> dict:
         "grid_runs": grid,
         "refs_per_run": refs,
         "jobs": jobs,
+        "oversubscribed": jobs > (os.cpu_count() or 1),
         "rounds": BEST_OF,
         "plain_parent_cpu_seconds": round(plain_parent, 4),
         "supervised_parent_cpu_seconds": round(supervised_parent, 4),
@@ -264,27 +345,46 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
-    print(f"bench_sweep: {cpus} CPU(s) visible, jobs={args.jobs}")
-    if args.jobs > cpus:
-        print(
-            f"  note: jobs={args.jobs} exceeds visible CPUs ({cpus}); "
-            "the parallel sweep cannot beat serial on this machine"
-        )
+    requested_jobs = args.jobs
+    jobs = max(1, min(requested_jobs, cpus))
+    print(f"bench_sweep: {cpus} CPU(s) visible, jobs={jobs}"
+          + (f" (requested {requested_jobs}, clamped)"
+             if jobs != requested_jobs else ""))
 
-    print("single-run fast path (front index off vs on):")
-    fastpath = bench_fastpath(args.workloads, args.refs)
-    print("sweep (serial vs parallel, identical grids):")
-    sweep = bench_sweep(args.workloads, args.schemes, args.refs, args.jobs)
-    print("supervision (deadlines+retries armed vs off, journal off):")
-    supervision = bench_supervision(
-        args.workloads, args.schemes, args.refs, args.jobs
-    )
+    # Hermetic cache for everything below: the bench must not read a
+    # previous run's entries (cold numbers) or litter the user's real
+    # cache.  Workers inherit the env across fork/spawn.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as bench_cache:
+        os.environ["REPRO_CACHE_DIR"] = bench_cache
+        print("trace cache (cold compile+store vs warm verify+memmap):")
+        trace_cache = bench_trace_cache(args.workloads, args.refs)
+        print("single-run fast path (front index off vs on):")
+        fastpath = bench_fastpath(args.workloads, args.refs)
+        print("sweep (serial vs parallel, identical grids):")
+        sweep = bench_sweep(
+            args.workloads, args.schemes, args.refs, jobs, requested_jobs
+        )
+        print("supervision (deadlines+retries armed vs off, journal off):")
+        prev_oversub = os.environ.get("REPRO_OVERSUBSCRIBE")
+        os.environ["REPRO_OVERSUBSCRIBE"] = "1"
+        try:
+            supervision = bench_supervision(
+                args.workloads, args.schemes, args.refs, jobs
+            )
+        finally:
+            if prev_oversub is None:
+                os.environ.pop("REPRO_OVERSUBSCRIBE", None)
+            else:
+                os.environ["REPRO_OVERSUBSCRIBE"] = prev_oversub
 
     payload = {
         "cpu_count": cpus,
         "refs_per_run": args.refs,
+        "jobs": jobs,
+        "requested_jobs": requested_jobs,
         "workloads": list(args.workloads),
         "schemes": list(args.schemes),
+        "trace_cache": trace_cache,
         "fastpath": fastpath,
         "sweep": sweep,
         "supervision": supervision,

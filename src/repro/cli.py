@@ -14,6 +14,7 @@ Usage (also via ``python -m repro``):
     python -m repro suite --refs 30000   # the full sweep, all metrics
     python -m repro chaos --refs 20000   # fault injection + recovery
     python -m repro schemes              # registered translation schemes
+    python -m repro cache ls|gc          # inspect / empty the trace cache
 
 Typed failures map to exit codes: 2 for configuration errors, 3 for
 any other simulator error, 130 on interrupt.  ``--fail-fast`` makes
@@ -74,8 +75,25 @@ def _scheme_selection(args):
     ]
 
 
+def _report_trace_cache(results) -> None:
+    """One deterministic stderr line of trace-cache counters (CI greps
+    it to prove a warm second run re-synthesized nothing)."""
+    stats = getattr(results, "trace_cache", None)
+    if stats is not None:
+        print(
+            f"repro: trace cache: hits={stats['hits']} "
+            f"builds={stats['builds']} rebuilds={stats['invalidated']} "
+            f"dir={stats['root']}",
+            file=sys.stderr,
+        )
+
+
 def _suite_results(args):
-    config = SimConfig(num_refs=args.refs)
+    config = SimConfig(
+        num_refs=args.refs,
+        use_trace_cache=not args.no_trace_cache,
+        trace_cache_dir=args.trace_cache_dir,
+    )
     config.validate()  # reject bad --refs etc. before the sweep starts
     names = args.workloads.split(",") if args.workloads else None
     schemes = _scheme_selection(args)
@@ -95,6 +113,7 @@ def _suite_results(args):
         run_timeout=args.run_timeout, retries=args.retries,
     )
     _report_failures(results)
+    _report_trace_cache(results)
     return results
 
 
@@ -289,7 +308,9 @@ def cmd_chaos(args) -> None:
     for kind in FaultKind:
         plan = FaultPlan.single(kind, rate=args.fault_rate, seed=args.fault_seed)
         config = SimConfig(
-            num_refs=args.refs, faults=plan, verify_translations=True
+            num_refs=args.refs, faults=plan, verify_translations=True,
+            use_trace_cache=not args.no_trace_cache,
+            trace_cache_dir=args.trace_cache_dir,
         )
         config.validate()
         results = run_suite(
@@ -317,7 +338,45 @@ def cmd_chaos(args) -> None:
         raise ReproError("chaos run produced incorrect translations")
 
 
+def cmd_cache(args) -> None:
+    """Inspect (``ls``, the default) or empty (``gc``) the
+    content-addressed trace cache."""
+    from repro.workloads.trace_cache import get_cache
+
+    cache = get_cache(args.trace_cache_dir)
+    action = args.subcommand or "ls"
+    if action == "ls":
+        rows = [
+            (
+                e["digest"][:12],
+                e["workload"],
+                e["num_refs"],
+                e["trace_seed"],
+                e["scale"],
+                f"v{e['generator_version']}",
+                f"{e['nbytes'] / 1024:.1f}KB",
+            )
+            for e in cache.entries()
+        ]
+        print(render_table(
+            ["entry", "workload", "refs", "seed", "scale", "gen", "size"],
+            rows,
+            title=f"Trace cache — {cache.root} ({len(rows)} entries)",
+        ))
+    elif action == "gc":
+        stats = cache.gc()
+        print(
+            f"trace cache gc: removed {stats['entries']} entries, "
+            f"reclaimed {stats['bytes'] / 1024:.1f}KB from {cache.root}"
+        )
+    else:
+        raise ConfigError(
+            f"unknown cache action {action!r}; choose 'ls' or 'gc'"
+        )
+
+
 COMMANDS = {
+    "cache": cmd_cache,
     "chaos": cmd_chaos,
     "fig2": cmd_fig2,
     "fig3": cmd_fig3,
@@ -342,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command", choices=sorted(COMMANDS), help="artifact to regenerate"
+    )
+    parser.add_argument(
+        "subcommand", nargs="?", default=None,
+        help="action for the cache command: 'ls' (default) or 'gc'",
     )
     parser.add_argument(
         "--refs", type=int, default=30_000,
@@ -392,6 +455,18 @@ def build_parser() -> argparse.ArgumentParser:
              "as a structured failure, never silently dropped",
     )
     parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the content-addressed trace cache for this sweep "
+             "(traces are still compiled in memory; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--trace-cache-dir", default=None, metavar="DIR",
+        help="trace cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/traces); also the target of the cache "
+             "ls/gc command",
+    )
+    parser.add_argument(
         "--fault-rate", type=float, default=1e-3,
         help="per-opportunity fault rate for the chaos command (default 1e-3)",
     )
@@ -416,6 +491,14 @@ def _validate_args(args) -> None:
         raise ConfigError(f"--retries must be >= 0, got {args.retries}")
     if args.resume and not args.journal:
         raise ConfigError("--resume requires --journal PATH")
+    if args.subcommand is not None and args.command != "cache":
+        raise ConfigError(
+            f"{args.command!r} takes no subcommand, got {args.subcommand!r}"
+        )
+    if args.command == "cache" and args.subcommand not in (None, "ls", "gc"):
+        raise ConfigError(
+            f"unknown cache action {args.subcommand!r}; choose 'ls' or 'gc'"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -90,6 +90,19 @@ class MMU:
         self.tlb.insert(outcome.pte, asid)
         return outcome.pte, tlb_latency + outcome.cycles
 
+    def packed_context(self):
+        """(front index, L1-4K array, stats) for the simulator's
+        packed-trace loop (:meth:`Simulator.run_standard`).
+
+        The loop inlines the ``translate`` front-index probe using the
+        trace's precomputed VPN column, charging exactly the counters
+        the probe above charges; on a front miss it falls through to
+        :meth:`translate`, whose own (missing) probe is a no-op.  The
+        front index is an empty dict when disabled, so the caller
+        needs no mode branch — every probe just misses.
+        """
+        return self._front, self._l1_4k, self.stats
+
     def invalidate(self, vpn: int, asid: int = 0) -> None:
         """TLB shootdown for one page (section 5.2)."""
         self.tlb.invalidate(vpn, asid)

@@ -9,7 +9,7 @@ from repro.sim.config import (
     table1_rows,
 )
 from repro.sim.journal import RunJournal, config_fingerprint
-from repro.sim.parallel import RunSpec, default_jobs
+from repro.sim.parallel import RunSpec, default_jobs, resolve_jobs
 from repro.sim.results import ResultSet, RunFailure, SimResult, geomean, mean
 from repro.sim.runner import run_suite, summarize_speedups
 from repro.sim.simulator import Simulator, simulate
@@ -31,6 +31,7 @@ __all__ = [
     "config_fingerprint",
     "default_jobs",
     "geomean",
+    "resolve_jobs",
     "mean",
     "run_specs_supervised",
     "run_suite",

@@ -127,6 +127,20 @@ class SimConfig:
     # Cross-check every translation against the OS's authoritative
     # records (chaos-harness mode; costs a software lookup per ref).
     verify_translations: bool = False
+    # --- trace pipeline knobs (never change results, only speed; all
+    # three are excluded from the journal's config fingerprint) -------
+    # Iterate packed compiled traces (repro/workloads/compile.py) with
+    # precomputed column views; False falls back to the legacy
+    # raw-array loop (A/B'd bit-identical in tests and benchmarks).
+    packed_traces: bool = True
+    # Content-addressed on-disk trace cache
+    # (repro/workloads/trace_cache.py); workers memmap cached entries
+    # instead of re-synthesizing traces.  ``--no-trace-cache`` or
+    # REPRO_TRACE_CACHE=0 clears it.
+    use_trace_cache: bool = True
+    # Cache directory override; None = $REPRO_CACHE_DIR or
+    # ~/.cache/repro/traces.
+    trace_cache_dir: Optional[str] = None
 
     def validate(self) -> None:
         """Reject impossible configurations with a clear message.

@@ -77,9 +77,17 @@ def config_fingerprint(config: SimConfig) -> str:
     ``thp`` is excluded: the sweep clones the base config with each
     page mode, and the journal key already carries the THP flag — a
     journal written from a ``thp=True`` base must still hit.
+
+    The trace-pipeline knobs (``packed_traces``, ``use_trace_cache``,
+    ``trace_cache_dir``) are excluded too: they change how traces are
+    produced and shared, never the simulated numbers — a sweep
+    journaled with the cache on must resume cleanly with it off.
     """
     fields = asdict(config)
     fields.pop("thp", None)
+    fields.pop("packed_traces", None)
+    fields.pop("use_trace_cache", None)
+    fields.pop("trace_cache_dir", None)
     return _digest(fields)
 
 

@@ -30,6 +30,13 @@ scale, seed): the first spec touching a workload pays the build cost,
 subsequent specs in the same worker reuse it — mirroring the serial
 path's build-once-per-name dictionary.
 
+Since PR 5, workers do not re-synthesize traces either: ``run_suite``
+pre-compiles each distinct trace into the content-addressed cache
+(:mod:`repro.workloads.trace_cache`) before fan-out, and each worker's
+simulator memmaps the packed entry read-only — zero-copy under the
+default ``fork`` start (the parent's mapping is inherited), shared OS
+page cache under ``spawn``.
+
 Execution itself lives in :mod:`repro.sim.supervisor` since PR 4: this
 module owns the *description* layer (specs, the worker function, the
 worker-side cache), the supervisor owns the pool — deadlines, retries,
@@ -56,7 +63,25 @@ from repro.workloads.registry import (
     build_workload,
 )
 
-__all__ = ["RunSpec", "default_jobs", "make_specs", "run_specs_parallel"]
+__all__ = [
+    "RunSpec",
+    "default_jobs",
+    "make_specs",
+    "oversubscribe_allowed",
+    "resolve_jobs",
+    "run_specs_parallel",
+]
+
+#: Escape hatch for the CPU-count guardrail: chaos tests (which *need*
+#: a worker pool to SIGKILL) and deliberate SMT/oversubscription
+#: experiments set REPRO_OVERSUBSCRIBE=1 to run more workers than
+#: visible CPUs.
+OVERSUBSCRIBE_ENV = "REPRO_OVERSUBSCRIBE"
+
+
+def oversubscribe_allowed() -> bool:
+    raw = os.environ.get(OVERSUBSCRIBE_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
 
 
 @dataclass(frozen=True)
@@ -84,11 +109,15 @@ class RunSpec:
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 = serial).
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial), capped at
+    ``os.cpu_count()``.
 
     A malformed value is a configuration mistake, not a silent
     fallback: ``REPRO_JOBS=abc`` or ``-3`` raises :class:`ConfigError`
-    naming the offending value (the CLI maps it to exit code 2).
+    naming the offending value (the CLI maps it to exit code 2).  A
+    value above the visible CPU count is clamped — more workers than
+    cores is measured slower than serial (BENCH_sweep.json) — unless
+    :data:`OVERSUBSCRIBE_ENV` opts out of the cap.
     """
     raw = os.environ.get("REPRO_JOBS")
     if raw is None or raw == "":
@@ -101,7 +130,47 @@ def default_jobs() -> int:
         ) from None
     if jobs < 1:
         raise ConfigError(f"REPRO_JOBS={raw!r} must be >= 1")
+    if not oversubscribe_allowed():
+        jobs = min(jobs, os.cpu_count() or 1)
     return jobs
+
+
+def resolve_jobs(
+    jobs: int,
+    num_specs: int,
+    run_timeout: Optional[float] = None,
+) -> "tuple[int, Optional[str]]":
+    """The worker count a sweep should actually use: ``(jobs, reason)``.
+
+    ``reason`` is non-None when the guardrail overrode the request and
+    explains why (the runner logs it).  Two cases fall back to serial:
+
+    * ``jobs`` exceeds the visible CPU count — oversubscribed workers
+      contend for the same cores and lose to the serial loop (measured
+      0.77x in BENCH_sweep.json on a 1-CPU host);
+    * the grid has fewer cells than workers — pool startup/teardown
+      costs more than it can ever recover on so small a sweep.
+
+    A ``run_timeout`` disables the guardrail entirely: deadlines can
+    only be enforced by killing a *subprocess*, so supervised runs keep
+    their pool even where it is slower.  So does
+    :data:`OVERSUBSCRIBE_ENV` (chaos tests kill workers on purpose).
+    """
+    if jobs <= 1 or run_timeout is not None or oversubscribe_allowed():
+        return jobs, None
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        return 1, (
+            f"jobs={jobs} exceeds the {cpus} visible CPU(s); "
+            "oversubscribed workers are slower than the serial loop "
+            f"(set {OVERSUBSCRIBE_ENV}=1 to force a pool)"
+        )
+    if num_specs < jobs:
+        return 1, (
+            f"grid has {num_specs} cell(s) for {jobs} workers; pool "
+            "startup would cost more than it recovers"
+        )
+    return jobs, None
 
 
 def make_specs(

@@ -100,6 +100,11 @@ class ResultSet:
     def __init__(self, results: Optional[Iterable[SimResult]] = None):
         self.results: List[SimResult] = list(results or [])
         self.failures: List[RunFailure] = []
+        # Filled by run_suite when the trace cache is in play: this
+        # sweep's {"root", "hits", "builds", "invalidated"} counters.
+        # Reporting metadata only — never part of SimResult, whose
+        # fields are pinned by the golden bit-identity tests.
+        self.trace_cache: Optional[dict] = None
 
     def add(self, result: SimResult) -> None:
         self.results.append(result)

@@ -15,16 +15,19 @@ bounded retry of hung or crashed workers.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.errors import ConfigError, ReproError, SweepInterrupted
 from repro.schemes import registry as scheme_registry
 from repro.sim.config import SCHEMES, SimConfig
 from repro.sim.journal import RunJournal
-from repro.sim.parallel import make_specs
+from repro.sim.parallel import make_specs, resolve_jobs
 from repro.sim.results import ResultSet, RunFailure
 from repro.sim.simulator import Simulator
+from repro.workloads.compile import compiled_trace_for, trace_spec
 from repro.workloads.registry import SUITE, BuiltWorkload, build_workload
+from repro.workloads.trace_cache import TraceCache, cache_for_config
 
 
 def run_suite(
@@ -91,6 +94,20 @@ def run_suite(
         else journal
     )
     try:
+        # Guardrail (see resolve_jobs): a pool that cannot win falls
+        # back to the serial loop, with the reason on stderr — small
+        # grids and oversubscribed CPUs measured *slower* than serial.
+        jobs, fallback_reason = resolve_jobs(
+            jobs, len(names) * len(schemes) * len(page_modes), run_timeout
+        )
+        if fallback_reason is not None:
+            print(
+                f"repro: parallel sweep falling back to serial: "
+                f"{fallback_reason}",
+                file=sys.stderr,
+            )
+        cache = cache_for_config(base) if base.packed_traces else None
+        stats_before = cache.stats() if cache is not None else None
         if jobs > 1 or run_timeout is not None:
             from repro.sim.supervisor import (
                 SupervisorPolicy,
@@ -102,7 +119,17 @@ def run_suite(
                 retries=2 if retries is None else retries,
             )
             specs = make_specs(names, schemes, page_modes, base)
-            return run_specs_supervised(
+            if cache is not None:
+                # Pre-compile each distinct trace once, in the parent,
+                # before any worker forks: workers then memmap the
+                # cached entries instead of re-synthesizing the same
+                # trace jobs times.
+                _precompile_traces(
+                    _pending_workloads(names, schemes, page_modes, jnl),
+                    base,
+                    cache,
+                )
+            results = run_specs_supervised(
                 specs,
                 jobs=jobs,
                 on_error=on_error,
@@ -110,12 +137,85 @@ def run_suite(
                 journal=jnl,
                 policy=policy,
             )
-        return _run_serial(
-            names, schemes, page_modes, base, verbose, on_error, jnl
-        )
+        else:
+            results = _run_serial(
+                names, schemes, page_modes, base, verbose, on_error, jnl,
+                cache,
+            )
+        if cache is not None:
+            results.trace_cache = _cache_delta(cache, stats_before)
+        return results
     finally:
         if owns_journal and jnl is not None:
             jnl.close()
+
+
+def _pending_workloads(
+    names: List[str],
+    schemes: List[str],
+    page_modes: List[bool],
+    jnl: Optional[RunJournal],
+) -> List[str]:
+    """Workload names some non-journaled cell still needs, in sweep
+    order: resuming an almost-finished sweep must not rebuild (or even
+    touch traces for) fully-journaled names."""
+    pending = []
+    for name in names:
+        for thp in page_modes:
+            for scheme in schemes:
+                if jnl is not None and (
+                    jnl.result_for(name, scheme, thp) is not None
+                    or jnl.failure_for(name, scheme, thp) is not None
+                ):
+                    continue
+                if name not in pending:
+                    pending.append(name)
+    return pending
+
+
+def _precompile_traces(
+    names: List[str],
+    base: SimConfig,
+    cache: TraceCache,
+    built: Optional[Dict[str, BuiltWorkload]] = None,
+) -> None:
+    """Ensure the cache holds each pending workload's trace.
+
+    A warm entry is a digest-keyed lookup plus a checksum pass — no
+    workload construction at all, which is where the warm-cache sweep
+    setup's >=5x win over cold comes from.  A cold miss builds the
+    workload (unless the caller already has it), synthesizes, packs
+    and stores."""
+    for name in names:
+        workload = built.get(name) if built else None
+        if workload is None:
+            spec = trace_spec(
+                name,
+                base.footprint_scale,
+                base.workload_seed,
+                base.num_refs,
+                base.trace_seed,
+            )
+            if cache.get(spec) is not None:
+                continue
+            try:
+                workload = build_workload(
+                    name, scale=base.footprint_scale, seed=base.workload_seed
+                )
+            except KeyError as exc:
+                raise ConfigError(exc.args[0] if exc.args else str(exc)) from exc
+        compiled_trace_for(workload, base.num_refs, base.trace_seed, cache)
+
+
+def _cache_delta(cache: TraceCache, before: Dict[str, object]) -> Dict[str, object]:
+    """This sweep's share of the per-process cache counters."""
+    after = cache.stats()
+    return {
+        "root": after["root"],
+        "hits": after["hits"] - before["hits"],
+        "builds": after["builds"] - before["builds"],
+        "invalidated": after["invalidated"] - before["invalidated"],
+    }
 
 
 def _run_serial(
@@ -126,6 +226,7 @@ def _run_serial(
     verbose: bool,
     on_error: str,
     jnl: Optional[RunJournal],
+    cache: Optional[TraceCache] = None,
 ) -> ResultSet:
     """The in-process sweep loop, with optional journal checkpoints."""
     cells = [
@@ -156,6 +257,11 @@ def _run_serial(
             # A typo'd workload name is a configuration mistake, not a
             # crash: surface it as the CLI's one-line exit-code-2 path.
             raise ConfigError(exc.args[0] if exc.args else str(exc)) from exc
+    if cache is not None:
+        # Compile each distinct trace once up front (the memo on the
+        # workload makes every cell below a lookup); with a warm cache
+        # this is a checksum + memmap per workload, not a synthesis.
+        _precompile_traces(needed, base, cache, built)
     results = ResultSet()
     try:
         for thp, name, scheme in cells:

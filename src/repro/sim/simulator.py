@@ -30,6 +30,7 @@ from repro.schemes import registry
 from repro.sim.config import SimConfig
 from repro.sim.results import SimResult
 from repro.types import BASE_PAGE_SIZE, TranslationError
+from repro.workloads.compile import CompiledTrace
 from repro.workloads.registry import BuiltWorkload
 
 
@@ -101,10 +102,25 @@ class Simulator:
     # -- the run -----------------------------------------------------------
     def run(self, num_refs: Optional[int] = None) -> SimResult:
         refs = num_refs or self.config.num_refs
-        trace = self.workload.trace(refs, self.config.trace_seed)
+        trace = self._trace(refs)
         refs = len(trace)
         data_stall, mmu_cycles = self.descriptor.run_trace(self, trace)
         return self._result(refs, data_stall, mmu_cycles)
+
+    def _trace(self, refs: int):
+        """The reference trace for this run — a :class:`CompiledTrace`
+        on the packed pipeline (default), a raw address array on the
+        legacy path.  Both loops accept either; results are
+        bit-identical (the packed ``va`` column *is* the raw trace)."""
+        if not self.config.packed_traces:
+            return self.workload.trace(refs, self.config.trace_seed)
+        from repro.workloads.compile import compiled_trace_for
+        from repro.workloads.trace_cache import cache_for_config
+
+        return compiled_trace_for(
+            self.workload, refs, self.config.trace_seed,
+            cache=cache_for_config(self.config),
+        )
 
     def run_standard(self, trace) -> "tuple[int, int]":
         """The default trace loop: every reference is translated through
@@ -116,10 +132,48 @@ class Simulator:
         verify = self.config.verify_translations
         data_stall = 0
         mmu_cycles = 0
-        # One C-level pass converts the numpy trace to plain ints;
-        # doing it per element (``int(va)``) costs a boxing round-trip
-        # on every reference.
-        refs = trace.tolist() if hasattr(trace, "tolist") else [int(v) for v in trace]
+        packed = isinstance(trace, CompiledTrace)
+        # One C-level pass converts the trace to plain ints; doing it
+        # per element (``int(va)``) costs a boxing round-trip on every
+        # reference.  CompiledTrace memoizes its column views, so the
+        # 8+ runs per workload of a sweep pay the pass once.
+        if packed:
+            refs = trace.vas
+        else:
+            refs = (
+                trace.tolist()
+                if hasattr(trace, "tolist")
+                else [int(v) for v in trace]
+            )
+        if packed and injector is None and not verify:
+            # Packed fast loop: the trace's precomputed VPN column
+            # feeds the L1 front-index probe directly, inlined from
+            # ``MMU.translate`` with identical counter updates (a front
+            # hit costs zero MMU cycles there too).  A miss falls
+            # through to ``translate``, whose own probe of the absent
+            # key is a no-op — stats stay bit-identical either way.
+            front, l1_4k, stats = self.mmu.packed_context()
+            for va, vpn in zip(refs, trace.vpns):
+                entry = front.get(vpn)
+                if entry is not None and entry[0] == 0:
+                    pte, tlb_set, key = entry[1], entry[2], entry[3]
+                    del tlb_set[key]
+                    tlb_set[key] = pte
+                    l1_4k.hits += 1
+                    stats.translations += 1
+                    stats.l1_tlb_hits += 1
+                    data_stall += access(pte.translate(va))
+                    continue
+                pte, tcycles = translate(va)
+                if pte is None:
+                    fault(va)
+                    pte, more = translate(va)
+                    tcycles += more
+                    if pte is None:
+                        raise TranslationError(f"unmappable VA {va:#x}")
+                mmu_cycles += tcycles
+                data_stall += access(pte.translate(va))
+            return data_stall, mmu_cycles
         if injector is None and not verify:
             # Common case: no chaos hooks.  Hoisting the two per-ref
             # branches out of the loop is worth several percent at
@@ -175,7 +229,14 @@ class Simulator:
         injector = self.injector
         data_stall = 0
         mmu_cycles = 0
-        refs = trace.tolist() if hasattr(trace, "tolist") else [int(v) for v in trace]
+        if isinstance(trace, CompiledTrace):
+            refs = trace.vas
+        else:
+            refs = (
+                trace.tolist()
+                if hasattr(trace, "tolist")
+                else [int(v) for v in trace]
+            )
         for va in refs:
             if injector is not None:
                 injector.on_reference(self)

@@ -87,6 +87,14 @@ class BuiltWorkload:
     info: WorkloadInfo
     space: BuiltAddressSpace
     trace_fn: Callable[[int, int], np.ndarray] = field(repr=False, default=None)
+    # Build identity, recorded by ``build_workload``: together with the
+    # workload name and a (num_refs, trace_seed) pair these fully key a
+    # generated trace — the trace compiler hashes them into its
+    # content-addressed cache key (repro/workloads/trace_cache.py).
+    # None for hand-constructed instances, which then skip the on-disk
+    # cache (an unkeyed entry could alias a real one).
+    scale: Optional[int] = None
+    seed: Optional[int] = None
     # (num_refs, seed) -> generated trace.  One BuiltWorkload is shared
     # by every (scheme, thp) run of a sweep, and the generators are
     # pure functions of (num_refs, seed), so the 8+ runs per workload
@@ -94,6 +102,11 @@ class BuiltWorkload:
     # already keyed by (name, scale, workload seed) at build time,
     # completing the cache key.
     _trace_cache: Dict[tuple, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    # (num_refs, seed) -> CompiledTrace: the packed-array counterpart,
+    # shared by every run of a sweep (see repro/workloads/compile.py).
+    _packed_cache: Dict[tuple, object] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -356,4 +369,11 @@ def build_workload(
             info.name, footprint_override, info.kind,
             info.instructions_per_ref, info.description,
         )
-    return _BUILDERS[info.kind](info, scale, seed, allocator)
+    built = _BUILDERS[info.kind](info, scale, seed, allocator)
+    # A footprint override or non-default allocator changes the
+    # generated addresses without showing up in (name, scale, seed):
+    # such workloads must not key into the shared on-disk trace cache.
+    if footprint_override is None and allocator is JEMALLOC:
+        built.scale = scale
+        built.seed = seed
+    return built

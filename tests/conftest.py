@@ -8,9 +8,25 @@ no-op (the limit is a chaos-harness safety net, not a correctness
 assertion).
 """
 
+import os
 import signal
 
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the content-addressed trace cache at a per-session temp
+    directory: tests must neither read a developer's warm cache (it
+    would mask compile-path bugs) nor litter ``~/.cache`` with entries
+    for tiny test traces."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("trace-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 def pytest_configure(config):

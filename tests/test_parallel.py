@@ -1,6 +1,8 @@
 """Parallel sweep engine (`repro.sim.parallel`): bit-identity with the
-serial path, deterministic ordering, and serial error semantics."""
+serial path, deterministic ordering, serial error semantics, and the
+CPU-count guardrail."""
 
+import os
 from dataclasses import asdict
 
 import pytest
@@ -8,12 +10,26 @@ import pytest
 from repro.errors import ConfigError, ReproError
 from repro.faults import FaultPlan
 from repro.sim import SimConfig, run_suite
-from repro.sim.parallel import default_jobs, make_specs, run_specs_parallel
+from repro.sim.parallel import (
+    default_jobs,
+    make_specs,
+    resolve_jobs,
+    run_specs_parallel,
+)
 from repro.sim.runner import summarize_speedups
 
 REFS = 2_000
 WORKLOADS = ["gups", "mem$"]
 SCHEMES = ["radix", "lvm"]
+
+
+@pytest.fixture(autouse=True)
+def _allow_oversubscription(monkeypatch):
+    """These tests exercise the *pool* (bit-identity, ordering, worker
+    error semantics), so the CPU-count guardrail must not silently turn
+    jobs=4 into the serial loop on a small CI box.  Guardrail tests
+    below delete the variable again."""
+    monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
 
 
 def _suite(jobs, config=None, **kwargs):
@@ -108,6 +124,17 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs() == 6
 
+    def test_env_variable_capped_at_cpu_count(self, monkeypatch):
+        """Without the oversubscription escape hatch, REPRO_JOBS is
+        clamped to the visible CPUs — more workers than cores measured
+        slower than serial."""
+        monkeypatch.delenv("REPRO_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 2
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert default_jobs() == 2
+
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
@@ -126,6 +153,52 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "0")
         with pytest.raises(ConfigError, match="'0'"):
             default_jobs()
+
+
+class TestJobsGuardrail:
+    """run_suite falls back to the serial path — with a logged reason —
+    whenever a pool cannot win: more workers than CPUs, or fewer grid
+    cells than workers."""
+
+    @pytest.fixture(autouse=True)
+    def _guardrail_armed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OVERSUBSCRIBE", raising=False)
+
+    def test_resolve_jobs_oversubscription(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        jobs, reason = resolve_jobs(4, num_specs=12)
+        assert jobs == 1 and "2 visible CPU" in reason
+        jobs, reason = resolve_jobs(2, num_specs=12)
+        assert jobs == 2 and reason is None
+
+    def test_resolve_jobs_tiny_grid(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        jobs, reason = resolve_jobs(4, num_specs=2)
+        assert jobs == 1 and "2 cell(s)" in reason
+
+    def test_resolve_jobs_keeps_pool_for_deadlines(self, monkeypatch):
+        """A run_timeout needs a killable subprocess: the guardrail
+        never downgrades supervised runs to in-process execution."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        jobs, reason = resolve_jobs(4, num_specs=12, run_timeout=60.0)
+        assert jobs == 4 and reason is None
+
+    def test_resolve_jobs_escape_hatch(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+        jobs, reason = resolve_jobs(4, num_specs=12)
+        assert jobs == 4 and reason is None
+
+    def test_run_suite_fallback_logs_and_stays_bit_identical(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        serial = _suite(jobs=1)
+        fallback = _suite(jobs=4)
+        err = capsys.readouterr().err
+        assert "falling back to serial" in err
+        for a, b in zip(serial.results, fallback.results):
+            assert asdict(a) == asdict(b)
 
 
 class TestSummarizeSpeedups:

@@ -99,6 +99,14 @@ def _toy_scheme():
     registry.unregister(descriptor.name)
 
 
+@pytest.fixture(autouse=True)
+def _allow_oversubscription(monkeypatch):
+    """The jobs=2 sweeps below must exercise a real pool even on a
+    one-CPU CI box; the guardrail's serial fallback would make their
+    parallel bit-identity claims vacuous."""
+    monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+
+
 # -- golden bit-identity across the refactor ----------------------------
 
 class TestGoldenBitIdentity:

@@ -46,6 +46,14 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_cells.json"
 REFS = 1_000
 
 
+@pytest.fixture(autouse=True)
+def _allow_oversubscription(monkeypatch):
+    """Supervisor chaos needs a real worker pool regardless of how few
+    CPUs the CI box has: a KamikazeScheme that silently fell back to
+    the serial path would SIGKILL the test process itself."""
+    monkeypatch.setenv("REPRO_OVERSUBSCRIBE", "1")
+
+
 # -- chaos schemes: defined here, registered for this module only -------
 
 class KamikazeScheme(RadixScheme):

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: runs the four robustness scenarios and
+writes ``BENCH_serve.json`` at the repo root.
+
+This is a thin argv wrapper around :func:`repro.serve.bench.run_serve_bench`
+(also reachable as ``repro serve-bench``).  The four scenarios:
+
+1. **baseline** — four tenants, zipf translate mix: p50/p99 latency,
+   requests/sec, refs/sec.
+2. **overload** — ~2x the admission window of offered concurrency;
+   asserts the server sheds with typed frames instead of queueing.
+3. **chaos** — one tenant poisoned past the recovery ladder; asserts
+   it is quarantined alone and the innocent tenant sees zero errors.
+4. **kill_recovery** — the same two-tenant replay with and without a
+   SIGKILL of the tenant-hosting shard mid-run; asserts bit-identical
+   tenant digests and reports recovery time.
+
+Not a pytest file on purpose: it forks shard workers, installs signal
+handlers and wants a quiet sequential process.  Run via::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full, minutes
+
+The full mode drives the >=100k-request two-tenant replay of the
+acceptance criteria; on one CPU expect several minutes of genuine
+simulation work (zipf-tail LVM walks dominate, not serving overhead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve.bench import run_serve_bench, write_bench_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run (a few thousand requests instead of >=100k)",
+    )
+    parser.add_argument("--scheme", default="lvm", help="translation scheme for tenants")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_serve_bench(quick=args.quick, scheme=args.scheme)
+    write_bench_json(results, str(args.out))
+    print(json.dumps(results["headline"], indent=2))
+    print(f"wrote {args.out}")
+    if not results["ok"]:
+        print("FAIL: a robustness scenario did not meet its assertion")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

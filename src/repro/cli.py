@@ -375,8 +375,60 @@ def cmd_cache(args) -> None:
         )
 
 
+def _chaos_plan_from_args(args) -> dict:
+    """The default ``--chaos`` plan for the serving layer: translation
+    -path corruption at ``--fault-rate`` on every tenant that does not
+    bring its own plan.  (Allocation faults are left to explicit
+    per-tenant plans — at server scale they would quarantine every
+    tenant, which is a different experiment.)"""
+    return {
+        "seed": args.fault_seed,
+        "pte_bitflip_rate": args.fault_rate,
+        "model_perturb_rate": args.fault_rate,
+    }
+
+
+def cmd_serve(args) -> None:
+    """Run the translation server until interrupted (Ctrl-C)."""
+    import asyncio
+
+    from repro.serve.server import ServePolicy, TranslationServer
+
+    policy = ServePolicy(
+        num_shards=args.shards,
+        max_global_inflight=args.max_inflight,
+        max_tenant_inflight=args.max_tenant_inflight,
+        chaos_plan=_chaos_plan_from_args(args) if args.chaos else None,
+    )
+    server = TranslationServer(args.socket, args.state_dir, policy)
+    print(
+        f"repro serve: listening on {args.socket}, {args.shards} shard(s), "
+        f"journals in {args.state_dir}"
+        + (" [chaos]" if args.chaos else ""),
+        file=sys.stderr,
+    )
+    asyncio.run(server.serve_forever())
+
+
+def cmd_serve_bench(args) -> None:
+    """Run the four serving-layer scenarios; write BENCH_serve.json."""
+    import json
+
+    from repro.serve.bench import run_serve_bench, write_bench_json
+
+    scheme = (args.schemes or "lvm").split(",")[0]
+    results = run_serve_bench(quick=args.quick, scheme=scheme)
+    write_bench_json(results, args.bench_out)
+    print(json.dumps(results["headline"], indent=2))
+    print(f"wrote {args.bench_out}", file=sys.stderr)
+    if not results["ok"]:
+        raise ReproError("a serving-layer scenario failed its assertion")
+
+
 COMMANDS = {
     "cache": cmd_cache,
+    "serve": cmd_serve,
+    "serve-bench": cmd_serve_bench,
     "chaos": cmd_chaos,
     "fig2": cmd_fig2,
     "fig3": cmd_fig3,
@@ -474,6 +526,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="fault-injection seed for the chaos command (default 0)",
     )
+    parser.add_argument(
+        "--socket", default="repro-serve.sock", metavar="PATH",
+        help="unix socket path for the serve command "
+             "(default repro-serve.sock)",
+    )
+    parser.add_argument(
+        "--state-dir", default="serve-state", metavar="DIR",
+        help="per-tenant journal directory for the serve command; a "
+             "restarted server replays it to reconstruct tenants "
+             "(default serve-state)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes hosting tenant shards (default 2)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="global in-flight request bound before the server sheds "
+             "with ServerOverloadedError (default 64)",
+    )
+    parser.add_argument(
+        "--max-tenant-inflight", type=int, default=16,
+        help="per-tenant in-flight bound (default 16)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="serve with fault injection armed on every tenant that "
+             "does not bring its own plan (--fault-rate/--fault-seed); "
+             "a tenant corrupted past the recovery ladder is "
+             "quarantined, others are unaffected",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="serve-bench: CI-sized scenario counts instead of the "
+             "full >=100k-request replay",
+    )
+    parser.add_argument(
+        "--bench-out", default="BENCH_serve.json", metavar="PATH",
+        help="serve-bench output file (default BENCH_serve.json)",
+    )
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -491,6 +583,10 @@ def _validate_args(args) -> None:
         raise ConfigError(f"--retries must be >= 0, got {args.retries}")
     if args.resume and not args.journal:
         raise ConfigError("--resume requires --journal PATH")
+    if args.shards < 1:
+        raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+    if args.max_inflight < 1 or args.max_tenant_inflight < 1:
+        raise ConfigError("in-flight bounds must be >= 1")
     if args.subcommand is not None and args.command != "cache":
         raise ConfigError(
             f"{args.command!r} takes no subcommand, got {args.subcommand!r}"

@@ -27,6 +27,10 @@ bugs.  The hierarchy mirrors the fault model documented in
   or crashed worker process, a quarantined spec), as opposed to the
   *simulated* failures above.  Raised by the sweep supervisor
   (``sim/supervisor.py``), never by the simulator itself.
+* :class:`ServeError` — failures of the long-lived translation
+  service (``repro/serve``): shed requests, exhausted quotas,
+  quarantined tenants, dead shards, protocol violations.  Each maps
+  to a typed error frame on the wire.
 * :class:`JournalError` / :class:`JournalMismatchError` — the run
   journal (``sim/journal.py``) is unusable, or was written by a sweep
   with a different configuration fingerprint (the mismatch variant is
@@ -128,6 +132,54 @@ class SpecQuarantinedError(SweepError):
     The message records the attempt count and the last host-level
     failure, so a quarantined cell is a structured entry in
     ``ResultSet.failures`` — never a silently dropped cell."""
+
+
+class ServeError(ReproError):
+    """Base class for translation-service failures (``repro/serve``).
+
+    Every subclass maps to a typed error frame on the wire: the server
+    replies ``{"ok": false, "error": {"type": <class name>, ...}}`` and
+    clients rehydrate the same class (see ``serve/protocol.py``), so a
+    shed request, a quarantined tenant and a protocol violation are
+    distinguishable without string matching."""
+
+
+class ProtocolError(ServeError):
+    """A malformed, oversized or unparsable protocol frame."""
+
+
+class ServerOverloadedError(ServeError):
+    """The admission controller shed this request (reject-newest).
+
+    Raised when the global queue depth or the rolling p99 latency
+    crosses the configured shed threshold; the request was never
+    dispatched to a shard and mutated no tenant state."""
+
+
+class QuotaExceededError(ServeError):
+    """A per-tenant quota (max VMAs, refs/sec token bucket) was
+    exhausted at the front end; the request was rejected untried."""
+
+
+class UnknownTenantError(ServeError):
+    """A request named a tenant the server does not host."""
+
+
+class TenantExistsError(ServeError):
+    """``create_tenant`` named a tenant that already exists."""
+
+
+class TenantQuarantinedError(ServeError):
+    """The tenant's translation state degraded past the recovery
+    ladder (injected corruption the learned index could not repair)
+    and the tenant was quarantined: all of its requests fail with this
+    typed frame while every other tenant keeps being served."""
+
+
+class ShardUnavailableError(ServeError):
+    """The shard hosting this tenant died (or was killed for hanging)
+    and the request could not be transparently resubmitted after the
+    shard's journal-replay recovery."""
 
 
 class JournalError(ReproError):

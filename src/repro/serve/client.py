@@ -1,0 +1,162 @@
+"""Clients for the translation service.
+
+Two shapes over the same frames (:mod:`repro.serve.protocol`):
+
+* :class:`ServeClient` — blocking, one request at a time.  What tests,
+  the CLI one-shots and simple scripts want: call, get the result, or
+  catch the rehydrated typed error.
+* :class:`AsyncServeClient` — asyncio, pipelined.  Requests are
+  matched to responses by id, so many can be in flight on one
+  connection; the traffic generator uses this to put real concurrency
+  behind the admission controller.
+
+Both raise the *typed* server error (:func:`decode_error`): a shed
+request surfaces as :class:`~repro.errors.ServerOverloadedError`, a
+poisoned tenant as :class:`~repro.errors.TenantQuarantinedError`, and
+so on — clients branch on exception class, never on message text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    decode_error,
+    read_frame,
+    read_frame_sock,
+    write_frame,
+    write_frame_sock,
+)
+
+__all__ = ["AsyncServeClient", "ServeClient"]
+
+
+class ServeClient:
+    """Blocking client: one connection, serial request/response."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = 60.0):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def call(self, op: str, **payload) -> dict:
+        self._next_id += 1
+        request = dict(payload, op=op, id=self._next_id)
+        write_frame_sock(self._sock, request)
+        response = read_frame_sock(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("ok"):
+            return response.get("result") or {}
+        raise decode_error(response.get("error") or {})
+
+    # -- convenience wrappers -----------------------------------------
+
+    def create_tenant(self, spec: dict) -> dict:
+        return self.call("create_tenant", args={"spec": spec})
+
+    def drop_tenant(self, name: str) -> dict:
+        return self.call("drop_tenant", args={"name": name})
+
+    def mmap(self, tenant: str, start_vpn: int, pages: int, name: str = "") -> dict:
+        return self.call(
+            "mmap",
+            tenant=tenant,
+            args={"start_vpn": start_vpn, "pages": pages, "name": name},
+        )
+
+    def munmap(self, tenant: str, start_vpn: int) -> dict:
+        return self.call("munmap", tenant=tenant, args={"start_vpn": start_vpn})
+
+    def translate(self, tenant: str, vas: List[int]) -> dict:
+        return self.call("translate", tenant=tenant, args={"vas": vas})
+
+    def stats(self, tenant: str) -> dict:
+        return self.call("stats", tenant=tenant, args={})
+
+    def digest(self, tenant: str) -> dict:
+        return self.call("digest", tenant=tenant, args={})
+
+    def server_stats(self) -> dict:
+        return self.call("server_stats")
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Pipelined asyncio client; see the module docstring."""
+
+    def __init__(self):
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._read_task: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def connect(cls, socket_path: str) -> "AsyncServeClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_unix_connection(
+            socket_path
+        )
+        client._read_task = asyncio.create_task(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ProtocolError("server closed the connection")
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except BaseException as exc:  # noqa: BLE001 — fail all pending
+            error = exc
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def call(self, op: str, **payload) -> dict:
+        self._next_id += 1
+        request = dict(payload, op=op, id=self._next_id)
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[self._next_id] = future
+        async with self._write_lock:
+            await write_frame(self._writer, request)
+        response = await future
+        if response.get("ok"):
+            return response.get("result") or {}
+        raise decode_error(response.get("error") or {})
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,177 @@
+"""Wire protocol: length-prefixed JSON frames over a unix socket.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The same framing is used on every hop — client ↔
+front end and front end ↔ shard worker — so one set of codecs (and one
+set of failure modes) covers the whole service.
+
+Requests and responses are plain dicts::
+
+    {"id": 7, "op": "translate", "tenant": "web-1", "args": {...}}
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false,
+     "error": {"type": "ServerOverloadedError", "message": "..."}}
+
+Error frames are *typed*: ``error.type`` carries the
+:class:`~repro.errors.ReproError` subclass name, and
+:func:`decode_error` rehydrates the matching class on the client — a
+shed request, an exhausted quota and a quarantined tenant are
+distinguishable without string matching.
+
+Robustness rules:
+
+* A frame longer than :data:`MAX_FRAME_BYTES` is a
+  :class:`~repro.errors.ProtocolError` — the reader refuses to
+  allocate attacker-controlled amounts of memory and drops the
+  connection instead.
+* Unparsable JSON, a non-dict payload, or a negative length are
+  equally :class:`ProtocolError`; one malformed client connection
+  never takes down the server.
+* A cleanly closed socket between frames reads as ``None`` (EOF); a
+  socket closed *mid-frame* is a :class:`ProtocolError` (torn frame).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, ReproError, ServeError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_error",
+    "encode_frame",
+    "error_payload",
+    "read_frame",
+    "read_frame_sock",
+    "write_frame",
+    "write_frame_sock",
+]
+
+#: Upper bound on one frame's JSON payload.  Large enough for a
+#: 64k-reference translate batch, small enough that a corrupt length
+#: prefix cannot make the reader allocate gigabytes.
+MAX_FRAME_BYTES = 8 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame (length prefix + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparsable frame payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_length(raw: bytes) -> int:
+    (length,) = _LEN.unpack(raw)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+# -- asyncio side (the front end) ---------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; None on clean EOF between frames."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from exc
+    length = _check_length(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame body") from exc
+    return _decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking side (shard workers, sync clients, tests) -----------------
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None  # clean EOF on a frame boundary
+            raise ProtocolError("connection closed inside a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(sock: socket.socket) -> Optional[dict]:
+    """Blocking read of one frame; None on clean EOF between frames."""
+    header = _recv_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    length = _check_length(header)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed inside a frame body")
+    return _decode_body(body)
+
+
+def write_frame_sock(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+# -- typed error frames -------------------------------------------------
+
+def error_payload(exc: BaseException) -> dict:
+    """The ``error`` object of a failure frame."""
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def decode_error(error: dict) -> ReproError:
+    """Rehydrate a typed error frame into the matching exception class.
+
+    Unknown types (a newer server, a plain bug serialized by an older
+    one) degrade to :class:`~repro.errors.ServeError`, keeping the
+    type name in the message.
+    """
+    name = error.get("type", "ServeError")
+    message = error.get("message", "")
+    cls = getattr(_errors, name, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and cls is not _errors.ReproError
+    ):
+        try:
+            return cls(message)
+        except TypeError:  # exotic __init__ signature
+            pass
+    return ServeError(f"{name}: {message}")

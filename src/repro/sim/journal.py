@@ -43,18 +43,26 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.errors import JournalMismatchError
+from repro.errors import ConfigError, JournalMismatchError
 from repro.sim.config import SimConfig
 from repro.sim.results import RunFailure, SimResult
 
-__all__ = ["RunJournal", "config_fingerprint", "spec_key"]
+__all__ = [
+    "RunJournal",
+    "canonical_json",
+    "config_fingerprint",
+    "parse_record_line",
+    "record_digest",
+    "record_line",
+    "spec_key",
+]
 
 #: Bump when the record layout changes incompatibly; a journal written
 #: under another version is rejected on resume (JournalMismatchError).
 JOURNAL_SCHEMA_VERSION = 1
 
 
-def _canonical(payload) -> str:
+def canonical_json(payload) -> str:
     """Canonical JSON: the byte-stable form both checksums and the
     config fingerprint hash over."""
     return json.dumps(
@@ -62,8 +70,39 @@ def _canonical(payload) -> str:
     )
 
 
-def _digest(payload) -> str:
-    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+def record_digest(payload) -> str:
+    """SHA-256 of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def record_line(record: dict) -> str:
+    """One checksummed JSONL line (no trailing newline).
+
+    The record wrapped with its own digest — the append format shared
+    by the run journal here and the per-tenant serve journals
+    (:mod:`repro.serve.tenant_journal`)."""
+    return json.dumps({"record": record, "sha256": record_digest(record)})
+
+
+def parse_record_line(line: str) -> Optional[dict]:
+    """Inverse of :func:`record_line`: the record, or None if the line
+    is torn, unparsable, or fails its checksum."""
+    try:
+        wrapper = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(wrapper, dict):
+        return None
+    record = wrapper.get("record")
+    if record is None or wrapper.get("sha256") != record_digest(record):
+        return None
+    return record
+
+
+# Backward-compatible private aliases (tests and older callers poke
+# these names).
+_canonical = canonical_json
+_digest = record_digest
 
 
 def config_fingerprint(config: SimConfig) -> str:
@@ -126,12 +165,22 @@ class RunJournal:
         * ``resume=True`` + existing journal: load it (tolerating a
           torn tail) and verify the fingerprint — raise
           :class:`JournalMismatchError` on any disagreement.
-        * ``resume=True`` + no journal (or an unreadable header from a
-          crash during creation): nothing to resume; start fresh.
+        * ``resume=True`` + no journal: a :class:`ConfigError` (exit
+          code 2 in the CLI) — asking to resume work that never
+          happened is a configuration mistake, distinct from the
+          stale-fingerprint :class:`JournalMismatchError`.
+        * ``resume=True`` + an unreadable header (a crash during
+          journal creation): nothing usable to resume; start fresh
+          with a warning.
         """
         path = Path(path)
         journal = cls(path, config_fingerprint(config))
-        if resume and path.exists():
+        if resume:
+            if not path.exists():
+                raise ConfigError(
+                    f"nothing to resume at {path}: the journal does not "
+                    "exist (re-run without --resume to start one)"
+                )
             if journal._load():
                 journal._fh = path.open("a", encoding="utf-8")
                 return journal
@@ -203,22 +252,12 @@ class RunJournal:
     @staticmethod
     def _parse_line(line: str) -> Optional[dict]:
         """One JSONL record, or None if torn/corrupt."""
-        try:
-            wrapper = json.loads(line)
-        except ValueError:
-            return None
-        if not isinstance(wrapper, dict):
-            return None
-        record = wrapper.get("record")
-        if record is None or wrapper.get("sha256") != _digest(record):
-            return None
-        return record
+        return parse_record_line(line)
 
     # -- appending ----------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        line = json.dumps({"record": record, "sha256": _digest(record)})
-        self._fh.write(line + "\n")
+        self._fh.write(record_line(record) + "\n")
         # Flush + fsync per record: cells take milliseconds to compute
         # at minimum, so durability here is cheap — and a record either
         # survives a crash whole or its cell re-runs.

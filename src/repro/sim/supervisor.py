@@ -60,7 +60,9 @@ State machine per spec (see ``docs/INTERNALS.md`` §11)::
 
 from __future__ import annotations
 
+import faulthandler
 import heapq
+import os
 import signal
 import threading
 from collections import deque
@@ -85,11 +87,18 @@ from repro.sim.results import ResultSet, RunFailure, SimResult
 __all__ = ["SupervisorPolicy", "SweepSupervisor", "run_specs_supervised"]
 
 
-def _ignore_sigint() -> None:
+def _init_worker() -> None:
     """Pool initializer: workers must not die from a terminal Ctrl-C
     (the signal goes to the whole foreground process group); the parent
-    decides whether to drain or abort them."""
+    decides whether to drain or abort them.  SIGUSR1 dumps every
+    thread's Python stack to stderr — the parent sends it before
+    killing a worker that blew its deadline, so a hang leaves a
+    post-mortem trace instead of a silent kill."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        faulthandler.register(signal.SIGUSR1, chain=False)
+    except (AttributeError, ValueError, OSError):
+        pass  # no SIGUSR1 (non-POSIX) or no faulthandler support
 
 
 @dataclass(frozen=True)
@@ -239,7 +248,7 @@ class SweepSupervisor:
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=self.jobs, initializer=_ignore_sigint
+            max_workers=self.jobs, initializer=_init_worker
         )
 
     def _kill_pool(self) -> None:
@@ -255,6 +264,26 @@ class SweepSupervisor:
                 pass
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = None
+
+    def _dump_worker_stacks(self) -> None:
+        """Best-effort SIGUSR1 to every pool worker (each registered a
+        faulthandler dump at init) plus a short grace so the tracebacks
+        reach stderr before the kill.  A worker wedged in C code or
+        already gone simply produces no dump."""
+        if self._pool is None or not hasattr(signal, "SIGUSR1"):
+            return
+        procs = list((getattr(self._pool, "_processes", None) or {}).values())
+        signalled = False
+        for proc in procs:
+            if proc.pid is None:
+                continue
+            try:
+                os.kill(proc.pid, signal.SIGUSR1)
+                signalled = True
+            except OSError:
+                pass
+        if signalled:
+            sleep(0.05)
 
     def _respawn(self) -> None:
         """Kill the (hung or broken) pool and start a fresh one.
@@ -345,7 +374,9 @@ class SweepSupervisor:
                 )
             # The expired attempts are still burning CPU inside the
             # pool; the only way to reclaim those workers is to kill
-            # the pool and respawn it for the survivors.
+            # the pool and respawn it for the survivors.  Ask each for
+            # a stack dump first — the kill destroys the evidence.
+            self._dump_worker_stacks()
             self._respawn()
 
     # -- outcome handling ----------------------------------------------

@@ -118,10 +118,15 @@ class TraceCache:
         if not meta_path.exists():
             return None
         if not npy_path.exists():
-            # A sidecar without its payload is corruption, not a miss.
-            return self._invalidate(digest)
+            # A sidecar whose payload is gone is what a concurrent
+            # ``gc`` looks like mid-unlink (payload first, sidecar
+            # next): a plain miss, not corruption — the other process
+            # is already cleaning up, and a rebuild re-stores both.
+            return None
         try:
             meta = json.loads(meta_path.read_text())
+        except FileNotFoundError:
+            return None  # entry vanished between exists() and read
         except (OSError, ValueError):
             return self._invalidate(digest)
         if (
@@ -131,6 +136,8 @@ class TraceCache:
             return self._invalidate(digest)
         try:
             blob = npy_path.read_bytes()
+        except FileNotFoundError:
+            return None  # concurrent gc beat us to the payload
         except OSError:
             return self._invalidate(digest)
         if (
@@ -211,12 +218,26 @@ class TraceCache:
 
     # -- maintenance (the ``repro cache`` subcommand) -----------------
 
+    def _scan(self, pattern: str) -> List[Path]:
+        """``glob`` that tolerates the directory (or entries in it)
+        vanishing mid-scan — another process's ``gc`` racing ours must
+        look like an empty result, not a FileNotFoundError.  (Python
+        3.12 made ``Path.glob`` swallow this itself; we support
+        older interpreters.)"""
+        found: List[Path] = []
+        try:
+            for path in self.root.glob(pattern):
+                found.append(path)
+        except OSError:
+            pass
+        return found
+
     def entries(self) -> List[Dict[str, object]]:
         """Sidecar summaries of every entry, newest first."""
         rows = []
         if not self.root.is_dir():
             return rows
-        for meta_path in sorted(self.root.glob("*.json")):
+        for meta_path in sorted(self._scan("*.json")):
             try:
                 meta = json.loads(meta_path.read_text())
             except (OSError, ValueError):
@@ -237,32 +258,47 @@ class TraceCache:
         rows.sort(key=lambda r: r["created"], reverse=True)
         return rows
 
+    @staticmethod
+    def _unlink_quietly(path: Path) -> "tuple[bool, int]":
+        """Unlink ``path`` if it still exists; returns (removed, bytes
+        reclaimed).  An entry vanishing between the scan and the unlink
+        (concurrent ``gc``, a sweep invalidating a corrupt entry) is a
+        no-op, never an error — and is not counted as *our* removal."""
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return False, 0
+        try:
+            path.unlink()
+        except OSError:
+            return False, 0
+        return True, size
+
     def gc(self) -> Dict[str, int]:
         """Delete every entry (plus orphaned payloads and stale temp
-        files); returns {"entries": n, "bytes": reclaimed}."""
+        files); returns {"entries": n, "bytes": reclaimed}.
+
+        Safe to run concurrently with sweeps and with other ``gc``
+        invocations: files vanishing mid-scan are skipped, and the
+        returned counts cover only what *this* call actually removed.
+        """
         removed = 0
         reclaimed = 0
         if not self.root.is_dir():
             return {"entries": 0, "bytes": 0}
-        seen_payloads = set()
-        for meta_path in list(self.root.glob("*.json")):
+        for meta_path in self._scan("*.json"):
             npy_path = meta_path.with_suffix(".npy")
-            seen_payloads.add(npy_path.name)
-            for path in (npy_path, meta_path):
-                try:
-                    reclaimed += path.stat().st_size
-                    path.unlink()
-                except OSError:
-                    continue
-            removed += 1
-        for stray in list(self.root.glob("*.npy")) + list(
-            self.root.glob(".*.tmp")
-        ):
-            try:
-                reclaimed += stray.stat().st_size
-                stray.unlink()
-            except OSError:
-                continue
+            _, payload_bytes = self._unlink_quietly(npy_path)
+            reclaimed += payload_bytes
+            # The sidecar is the entry: it exists iff the entry does,
+            # so it alone drives the removed count.
+            was_entry, sidecar_bytes = self._unlink_quietly(meta_path)
+            reclaimed += sidecar_bytes
+            if was_entry:
+                removed += 1
+        for stray in self._scan("*.npy") + self._scan(".*.tmp"):
+            _, stray_bytes = self._unlink_quietly(stray)
+            reclaimed += stray_bytes
         return {"entries": removed, "bytes": reclaimed}
 
 

@@ -46,6 +46,24 @@ class TestArgumentValidation:
         assert main(["suite", "--resume"]) == 2
         assert "--journal" in capsys.readouterr().err
 
+    def test_resume_with_missing_journal_is_exit_2(self, tmp_path, capsys):
+        """--resume pointing at a journal that was never written is a
+        configuration error naming the path, not a silent fresh start
+        and not the JournalMismatchError stale-config message."""
+        missing = tmp_path / "never-written.jsonl"
+        code = main([
+            "fig9", "--refs", "200", "--workloads", "gups",
+            "--schemes", "radix", "--journal", str(missing), "--resume",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "nothing to resume" in err and str(missing) in err
+        assert not missing.exists()
+
+    def test_shards_must_be_positive(self, capsys):
+        assert main(["serve", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_malformed_repro_jobs_env_is_exit_2(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_JOBS", "lots")
         assert main(["tab1"]) == 2

@@ -17,11 +17,15 @@ The properties pinned here are the ones a long evaluation depends on:
 import json
 import os
 import signal
+import subprocess
+import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.cli import main as cli_main
 from repro.errors import (
@@ -44,6 +48,7 @@ from repro.sim.supervisor import (
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_cells.json"
 REFS = 1_000
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 
 @pytest.fixture(autouse=True)
@@ -154,6 +159,45 @@ class TestWorkerKill:
                 ["gups"], ["sleeper"], page_modes=(False,), config=cfg,
                 jobs=1, on_error="raise", run_timeout=2.0, retries=0,
             )
+
+    @pytest.mark.timeout(120)
+    def test_timed_out_worker_dumps_stack_before_kill(self, tmp_path):
+        """Before killing a worker that blew its deadline, the parent
+        sends SIGUSR1; the faulthandler hook every worker registers at
+        init dumps its stack to stderr, so the hang site (here:
+        ``time.sleep``) is visible post-mortem.  Run in a subprocess —
+        the dump comes from a pool worker's stderr, which pytest's
+        capture cannot see."""
+        script = (
+            "import time\n"
+            "from repro.schemes import registry\n"
+            "from repro.schemes.radix import RadixScheme\n"
+            "class Napper(RadixScheme):\n"
+            "    name = 'napper'\n"
+            "    aliases = ()\n"
+            "    core = False\n"
+            "    def make_page_table(self, sim):\n"
+            "        time.sleep(300)\n"
+            "from repro.sim import SimConfig, run_suite\n"
+            "registry.register(Napper())\n"
+            "results = run_suite(['gups'], ['napper'], page_modes=(False,),\n"
+            "                    config=SimConfig(num_refs=300), jobs=1,\n"
+            "                    on_error='collect', run_timeout=2.0,\n"
+            "                    retries=0)\n"
+            "assert len(results.failures) == 1\n"
+        )
+        env = dict(os.environ, REPRO_OVERSUBSCRIBE="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(SRC_DIR), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, timeout=90,
+            capture_output=True, text=True, cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "most recent call first" in proc.stderr, proc.stderr
+        # The dump names the frame the worker was wedged in.
+        assert "make_page_table" in proc.stderr, proc.stderr
 
 
 class TestGracefulShutdown:
@@ -295,9 +339,18 @@ class TestJournal:
         with pytest.raises(JournalMismatchError, match="schema version"):
             RunJournal.open(path, SimConfig(num_refs=100), resume=True)
 
-    def test_resume_without_existing_journal_starts_fresh(self, tmp_path):
+    def test_resume_without_existing_journal_is_config_error(self, tmp_path):
+        """--resume against a journal that does not exist is a user
+        mistake (wrong path, or nothing to resume), not a fresh start:
+        it must fail with a ConfigError (exit 2) naming the path —
+        distinct from JournalMismatchError, which means the journal
+        exists but belongs to a different configuration."""
         path = tmp_path / "missing.jsonl"
-        journal = RunJournal.open(path, SimConfig(num_refs=100), resume=True)
+        with pytest.raises(ConfigError, match="nothing to resume"):
+            RunJournal.open(path, SimConfig(num_refs=100), resume=True)
+        assert not path.exists()
+        # Without --resume the same path starts a fresh journal.
+        journal = RunJournal.open(path, SimConfig(num_refs=100))
         try:
             assert journal.completed == {} and journal.failed == {}
             assert path.exists()
@@ -369,6 +422,54 @@ class TestResume:
         with pytest.raises(ConfigError, match="journal"):
             run_suite(["gups"], ["radix"], config=SimConfig(num_refs=100),
                       resume=True)
+
+    def test_truncation_at_every_byte_offset_of_last_record(self, tmp_path):
+        """Exhaustive torn-tail sweep at the journal layer: truncating
+        the file at *every* byte offset inside the last record must
+        load cleanly with exactly the preceding cells intact — the torn
+        record is dropped whole, never half-parsed, never taking the
+        records before it down with it."""
+        cfg = SimConfig(num_refs=REFS)
+        path = tmp_path / "sweep.jsonl"
+        run_suite(["gups"], ["radix", "lvm"], page_modes=(False,),
+                  config=cfg, journal=path)
+        raw = path.read_bytes()
+        last_line_start = raw[:-1].rfind(b"\n") + 1
+        torn = tmp_path / "torn.jsonl"
+        for offset in range(last_line_start, len(raw) + 1):
+            torn.write_bytes(raw[:offset])
+            journal = RunJournal.open(torn, cfg, resume=True)
+            try:
+                keys = set(journal.completed)
+                # Only the byte-complete record survives (the trailing
+                # newline is not needed for the final line to parse).
+                if offset >= len(raw) - 1:
+                    assert keys == {"gups/radix/thp=0", "gups/lvm/thp=0"}
+                else:
+                    assert keys == {"gups/radix/thp=0"}, offset
+                assert not journal.failed
+            finally:
+                journal.close()
+
+    @given(cut=st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_torn_tail_resumes_bit_identically(self, tmp_path, cut):
+        """Property: for any truncation point inside the last record,
+        a resumed sweep is bit-identical to the uninterrupted one."""
+        cfg = SimConfig(num_refs=REFS)
+        path = tmp_path / "sweep.jsonl"
+        first = run_suite(["gups"], ["radix", "lvm"], page_modes=(False,),
+                          config=cfg, journal=path)
+        raw = path.read_bytes()
+        last_len = len(raw) - (raw[:-1].rfind(b"\n") + 1)
+        offset = len(raw) - 1 - (cut % (last_len - 1)) - 1
+        path.write_bytes(raw[:offset])
+        resumed = run_suite(["gups"], ["radix", "lvm"], page_modes=(False,),
+                            config=cfg, journal=path, resume=True)
+        assert not resumed.failures
+        assert [asdict(r) for r in resumed.results] == \
+            [asdict(r) for r in first.results]
 
     def test_stale_journal_exits_2_through_cli(self, tmp_path):
         path = tmp_path / "stale.jsonl"

@@ -183,10 +183,19 @@ class TestCacheCorruption:
         meta_path.write_text(meta_path.read_text()[:20])
         self._assert_rebuilt(tmp_path, gups)
 
-    def test_missing_payload(self, tmp_path, gups):
-        npy_path, _ = self._seed_entry(tmp_path, gups)
+    def test_missing_payload_is_a_plain_miss(self, tmp_path, gups):
+        """A sidecar whose payload is gone looks exactly like a
+        concurrent gc caught between its two unlinks: a miss to
+        rebuild, not corruption to count and clean up."""
+        npy_path, meta_path = self._seed_entry(tmp_path, gups)
         npy_path.unlink()
-        self._assert_rebuilt(tmp_path, gups)
+        cache = TraceCache(tmp_path)
+        assert cache.get(_spec()) is None
+        assert cache.invalidated == 0
+        rebuilt = cache.load_or_build(_spec(), lambda: _packed(gups))
+        assert rebuilt.vas == gups.trace(REFS, TRACE_SEED).tolist()
+        assert npy_path.exists() and meta_path.exists()
+        assert TraceCache(tmp_path).get(_spec()) is not None
 
     def test_corrupt_entry_files_are_deleted(self, tmp_path, gups):
         npy_path, meta_path = self._seed_entry(tmp_path, gups)
@@ -219,6 +228,83 @@ class TestVersionInvalidation:
         assert stats["entries"] == 2 and stats["bytes"] > 0
         assert not list(tmp_path.iterdir())
         assert cache.entries() == []
+
+
+class TestConcurrentGC:
+    """gc racing another process's gc (or a sweep's invalidation):
+    entries vanishing mid-scan are skipped, counts stay honest."""
+
+    def _seed(self, tmp_path, gups, seeds=(1, 2, 3)):
+        cache = TraceCache(tmp_path)
+        for seed in seeds:
+            cache.load_or_build(
+                _spec(trace_seed=seed), lambda s=seed: _packed(gups, trace_seed=s)
+            )
+        return cache
+
+    def test_gc_tolerates_entries_vanishing_mid_scan(
+        self, tmp_path, gups, monkeypatch
+    ):
+        """The racing process wins one entry: our gc neither raises nor
+        counts the stolen entry as its own removal."""
+        cache = self._seed(tmp_path, gups)
+        victim = spec_digest(_spec(trace_seed=2))
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            if self.stem == victim:
+                # The other gc got here first: both files are gone by
+                # the time ours tries.
+                real_unlink(self.with_suffix(".json"))
+                real_unlink(self.with_suffix(".npy"))
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        stats = cache.gc()
+        assert stats["entries"] == 2  # the stolen entry is not ours
+        assert stats["bytes"] > 0
+        assert not list(tmp_path.iterdir())
+
+    def test_gc_tolerates_directory_vanishing_mid_scan(
+        self, tmp_path, gups, monkeypatch
+    ):
+        """root removed between is_dir() and the glob walk: an empty
+        gc, not a FileNotFoundError."""
+        import shutil
+
+        cache = self._seed(tmp_path, gups)
+        real_is_dir = Path.is_dir
+
+        def vanishing_is_dir(self, *args, **kwargs):
+            result = real_is_dir(self, *args, **kwargs)
+            if result and self == tmp_path:
+                shutil.rmtree(tmp_path)
+            return result
+
+        monkeypatch.setattr(Path, "is_dir", vanishing_is_dir)
+        stats = cache.gc()
+        assert stats == {"entries": 0, "bytes": 0}
+
+    def test_get_during_concurrent_gc_is_a_miss(
+        self, tmp_path, gups, monkeypatch
+    ):
+        """Sidecar visible, bytes gone by read time: a miss (the other
+        process is cleaning up), never an exception or an
+        invalidation."""
+        cache = self._seed(tmp_path, gups, seeds=(1,))
+        real_read = Path.read_text
+
+        def vanishing_read(self, *args, **kwargs):
+            if self.suffix == ".json":
+                self.unlink()
+                raise FileNotFoundError(str(self))
+            return real_read(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", vanishing_read)
+        probe = TraceCache(tmp_path)
+        assert probe.get(_spec(trace_seed=1)) is None
+        assert probe.invalidated == 0
 
 
 # -- opt-outs and fingerprint discipline --------------------------------

@@ -87,8 +87,10 @@ class _TenantEntry:
     seq: int = 0
     inflight: int = 0
     vmas: int = 0
-    #: Token bucket for the refs/sec quota.
-    tokens: float = 0.0
+    #: Token bucket for the refs/sec quota; None until first use, then
+    #: initialized to full capacity so a fresh tenant's first batch is
+    #: admitted instead of waiting for tokens to accrue.
+    tokens: Optional[float] = None
     tokens_at: float = field(default_factory=time.monotonic)
     #: Serializes seq assignment + submission so frames reach the
     #: shard in seq order (the worker rejects gaps); responses are
@@ -105,6 +107,19 @@ class ServerStats:
     quota_rejects: int = 0
     quarantine_rejects: int = 0
     errors: int = 0
+
+
+def _reap_abandoned_submit(task: "asyncio.Task") -> None:
+    """Done-callback for a shielded submit whose awaiter was cancelled:
+    consume its exception (or its response future's) quietly so the
+    event loop never logs a 'never retrieved' warning for a request
+    nobody is waiting on anymore."""
+    if task.cancelled():
+        return
+    if task.exception() is not None:
+        return
+    response = task.result()
+    response.add_done_callback(lambda f: f.cancelled() or f.exception())
 
 
 class TranslationServer:
@@ -126,11 +141,18 @@ class TranslationServer:
         self._latencies: Deque[float] = deque(maxlen=policy.latency_window)
         self._inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Tenant names re-hosted from journals by :meth:`start`.
+        self.adopted: list = []
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
         await self.shards.start()
+        # A restarted server (same journal dir) re-hosts its tenants
+        # *before* the listener exists: a client connecting right
+        # after restart must never see UnknownTenantError for a
+        # tenant whose journal survives.
+        self.adopted = await self.adopt_journaled_tenants()
         self._server = await asyncio.start_unix_server(
             self._serve_client, path=self.socket_path
         )
@@ -143,9 +165,6 @@ class TranslationServer:
 
     async def serve_forever(self) -> None:
         await self.start()
-        # A restarted server (same journal dir) re-hosts its tenants
-        # before accepting traffic for them.
-        self.adopted = await self.adopt_journaled_tenants()
         try:
             await self._server.serve_forever()
         except asyncio.CancelledError:
@@ -344,11 +363,21 @@ class TranslationServer:
         self._inflight += 1
         entry.inflight += 1
         try:
-            async with entry.order_lock:
-                if op in MUTATING_OPS:
-                    entry.seq += 1
-                    payload["seq"] = entry.seq
-                future = await self.shards.submit(entry.shard, payload)
+            # Seq assignment + frame submission run as one *shielded*
+            # task: if this request is cancelled (client disconnect)
+            # while the submit is parked on a recovering shard, the
+            # shielded task still carries the frame to the shard — a
+            # consumed seq is always followed by its frame, so the
+            # tenant's seq stream never develops a permanent gap that
+            # would fail every later mutating op out-of-order.
+            submit = asyncio.ensure_future(
+                self._ordered_submit(entry, op, payload)
+            )
+            try:
+                future = await asyncio.shield(submit)
+            except asyncio.CancelledError:
+                submit.add_done_callback(_reap_abandoned_submit)
+                raise
             result = await self.shards.settle(future)
         except TenantQuarantinedError as exc:
             self.quarantined[name] = str(exc)
@@ -358,6 +387,27 @@ class TranslationServer:
             entry.inflight -= 1
         self._settle_quota(entry, op, result)
         return result
+
+    async def _ordered_submit(
+        self, entry: _TenantEntry, op: str, payload: dict
+    ) -> "asyncio.Future[dict]":
+        """Assign the next seq and enqueue the frame under the
+        per-tenant order lock; run via :func:`asyncio.shield` so the
+        critical section cannot be torn by caller cancellation."""
+        async with entry.order_lock:
+            if op not in MUTATING_OPS:
+                return await self.shards.submit(entry.shard, payload)
+            entry.seq += 1
+            payload["seq"] = entry.seq
+            try:
+                return await self.shards.submit(entry.shard, payload)
+            except BaseException:
+                # submit only raises before the frame is enqueued
+                # (_send swallows connection errors), so the seq can
+                # be given back without creating a gap; the lock is
+                # still held, so nothing assigned a later one.
+                entry.seq -= 1
+                raise
 
     def _admit(self, entry: _TenantEntry, op: str, args: dict) -> None:
         """Every reject happens here, before any shard traffic."""
@@ -400,9 +450,25 @@ class TranslationServer:
                 self._take_tokens(entry, rate, len(args.get("vas") or []))
 
     def _take_tokens(self, entry: _TenantEntry, rate: float, refs: int) -> None:
-        """Refs/sec token bucket: capacity one second of rate."""
+        """Refs/sec token bucket: capacity one second of rate, starting
+        full so a freshly created tenant's first batch is admitted."""
+        if refs > rate:
+            # Larger than the bucket can ever hold: no amount of
+            # waiting admits it, so reject it as permanent (the error
+            # says so) instead of inviting an infinite retry loop.
+            self.stats.quota_rejects += 1
+            raise QuotaExceededError(
+                f"tenant {entry.spec.name!r}: batch of {refs} refs exceeds "
+                f"the {rate:.0f} refs/sec bucket capacity; permanent — "
+                "split the batch instead of retrying"
+            )
         now = time.monotonic()
-        entry.tokens = min(rate, entry.tokens + (now - entry.tokens_at) * rate)
+        if entry.tokens is None:
+            entry.tokens = rate
+        else:
+            entry.tokens = min(
+                rate, entry.tokens + (now - entry.tokens_at) * rate
+            )
         entry.tokens_at = now
         if refs > entry.tokens:
             self.stats.quota_rejects += 1

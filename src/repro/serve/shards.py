@@ -162,7 +162,7 @@ class ShardManager:
                 )
             except Exception:  # noqa: BLE001 — best-effort shutdown
                 pass
-            self._kill(shard)
+            await self._kill(shard)
             if shard.reader_task is not None:
                 shard.reader_task.cancel()
 
@@ -258,7 +258,7 @@ class ShardManager:
             except Exception:  # noqa: BLE001 — death handled by read loop
                 await asyncio.sleep(self.heartbeat_interval)
 
-    def _kill(self, shard: _Shard) -> None:
+    async def _kill(self, shard: _Shard) -> None:
         process = shard.process
         if process is None or not process.is_alive():
             return
@@ -266,9 +266,11 @@ class ShardManager:
             process.kill()  # SIGKILL — the worker ignores SIGINT
         except (OSError, ValueError):
             pass
-        process.join(timeout=5.0)
+        # join() blocks; run it off-loop so reaping one dead shard
+        # cannot freeze heartbeats and every other tenant's traffic.
+        await asyncio.to_thread(process.join, 5.0)
 
-    def _request_stack_dump(self, shard: _Shard) -> None:
+    async def _request_stack_dump(self, shard: _Shard) -> None:
         """Ask a live worker to faulthandler-dump its stacks (SIGUSR1)
         before it is killed; the dump lands on the shared stderr."""
         process = shard.process
@@ -279,7 +281,7 @@ class ShardManager:
         except (OSError, ProcessLookupError):
             return
         # Give the handler a beat to write before SIGKILL truncates it.
-        time.sleep(0.05)
+        await asyncio.sleep(0.05)
 
     async def _recover(self, shard: _Shard, reason: str) -> None:
         """Kill → respawn → journal-restore → resubmit, exactly once
@@ -293,8 +295,8 @@ class ShardManager:
             started = time.monotonic()
             shard.ready.clear()
             if reason == "heartbeat deadline":
-                self._request_stack_dump(shard)
-            self._kill(shard)
+                await self._request_stack_dump(shard)
+            await self._kill(shard)
             if shard.reader_task is not None:
                 shard.reader_task.cancel()
             if shard.writer is not None:

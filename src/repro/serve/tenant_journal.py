@@ -30,8 +30,13 @@ journal's policy, affordable at sweep-cell granularity — would cap a
 shard at a few hundred requests/second.
 
 **Torn tails.**  Like the run journal, loading stops at the first
-unparsable or checksum-failing line: a record torn by the crash simply
-re-runs when the front end resubmits the request that wrote it.
+unparsable or checksum-failing line — and then **truncates the file**
+to the end of the last valid record before reopening it for append.
+Without the truncate, ops journaled after recovery would be appended
+*after* (or concatenated onto) the torn line, and the next replay
+would stop at the torn line and silently discard every acknowledged
+post-recovery record.  The truncated record itself simply re-runs when
+the front end resubmits the request that wrote it.
 """
 
 from __future__ import annotations
@@ -112,7 +117,10 @@ class TenantJournal:
         Raises :class:`JournalError` when the file or its header is
         unusable, :class:`JournalMismatchError` when the header was
         written under a different schema version.  A torn or corrupt
-        tail is tolerated: later lines are dropped with a warning.
+        tail is tolerated: it is dropped with a warning and the file is
+        truncated to the last valid record, so records appended after
+        recovery land on a clean line boundary and survive the *next*
+        replay (see "Torn tails" in the module docstring).
         """
         path = journal_path(journal_dir, tenant)
         if not path.exists():
@@ -122,16 +130,34 @@ class TenantJournal:
             )
         events: List[dict] = []
         header: Optional[dict] = None
-        with path.open("r", encoding="utf-8") as fh:
-            for number, line in enumerate(fh, start=1):
-                record = parse_record_line(line)
+        # Read in binary so valid_end is an exact byte offset to
+        # truncate to.  A record only counts if its line is newline-
+        # terminated: a parseable line with no trailing newline is a
+        # torn write and must be truncated too, or the next append
+        # would concatenate onto it.
+        valid_end = 0
+        with path.open("rb") as fh:
+            number = 0
+            while True:
+                raw = fh.readline()
+                if not raw:
+                    break
+                number += 1
+                record = None
+                if raw.endswith(b"\n"):
+                    try:
+                        record = parse_record_line(raw.decode("utf-8"))
+                    except UnicodeDecodeError:
+                        record = None
                 if record is None:
                     print(
                         f"repro: tenant journal {path}:{number}: torn or "
-                        f"corrupt record; keeping the {number - 1} before it",
+                        f"corrupt record; keeping the {number - 1} before "
+                        "it and truncating the tail",
                         file=sys.stderr,
                     )
                     break
+                valid_end = fh.tell()
                 if number == 1:
                     header = record
                 else:
@@ -153,6 +179,8 @@ class TenantJournal:
                 f"tenant journal {path}: header fingerprint does not match "
                 "its own spec; refusing to replay a tampered journal"
             )
+        if valid_end < path.stat().st_size:
+            os.truncate(path, valid_end)
         journal = cls(path, spec)
         journal._fh = path.open("a", encoding="utf-8")
         return journal, events

@@ -206,6 +206,28 @@ class TestTenantJournal:
         assert len(replayed) == len(events) - 1
         assert [e["seq"] for e in replayed] == list(range(1, len(events)))
 
+    def test_torn_tail_is_truncated_so_later_appends_survive_replay(
+        self, tmp_path
+    ):
+        """Recovery must physically truncate the torn line: otherwise
+        post-recovery appends land *after* it and the next replay stops
+        at the torn line, silently discarding every acknowledged
+        post-recovery record."""
+        spec = TenantSpec(name="t")
+        events = list(_ops(n=5))
+        self._journal_with_events(tmp_path, spec, events)
+        path = journal_path(tmp_path, "t")
+        path.write_bytes(path.read_bytes()[:-20])
+        journal, replayed = TenantJournal.load(tmp_path, "t")
+        last = replayed[-1]["seq"]
+        # The op torn out of the tail re-runs (resubmitted), then the
+        # tenant keeps mutating after recovery.
+        journal.append_event(last + 1, "mmap", {"start_vpn": 9000, "pages": 4})
+        journal.append_event(last + 2, "munmap", {"start_vpn": 9000})
+        journal.close()
+        _, replayed2 = TenantJournal.load(tmp_path, "t")
+        assert [e["seq"] for e in replayed2] == list(range(1, last + 3))
+
     def test_tampered_header_is_rejected(self, tmp_path):
         from repro.errors import JournalMismatchError
 
@@ -360,6 +382,38 @@ class TestServerBasics:
                     "mmap", tenant="small",
                     args={"start_vpn": 1024 * 3, "pages": 16},
                 )
+            finally:
+                await client.close()
+
+        run(_with_server(tmp_path, ServePolicy(num_shards=1), body))
+
+    def test_refs_per_sec_bucket_starts_full_and_rejects_oversized(
+        self, tmp_path
+    ):
+        async def body(server, sock):
+            client = await AsyncServeClient.connect(sock)
+            try:
+                await client.call(
+                    "create_tenant",
+                    args={"spec": {"name": "t", "max_refs_per_sec": 10}},
+                )
+                await client.call(
+                    "mmap", tenant="t",
+                    args={"start_vpn": 1024, "pages": 16},
+                )
+                # The bucket starts full: a fresh tenant's first
+                # translate is admitted, not rejected until tokens
+                # accrue.
+                await client.call(
+                    "translate", tenant="t", args={"vas": [1024 * 4096]}
+                )
+                # A batch larger than one second of quota can never be
+                # admitted; it is rejected as permanent, not retryable.
+                with pytest.raises(QuotaExceededError, match="capacity"):
+                    await client.call(
+                        "translate", tenant="t",
+                        args={"vas": [(1024 + i) * 4096 for i in range(11)]},
+                    )
             finally:
                 await client.close()
 

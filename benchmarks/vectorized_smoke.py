@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI smoke for the vectorized epoch engine (``repro.sim.vectorized``).
+
+Two gates, both cheap enough for every CI run:
+
+1. **Bit-identity** — with the engine forced on (``vectorized_min_fast=0``
+   batches every epoch it legally can), every (scheme, thp) cell of the
+   pre-engine golden file ``tests/golden/scheme_cells.json`` must
+   reproduce field-for-field.  This is the engine's hard contract; any
+   divergence fails loudly before a speedup is even measured.
+2. **Perf floor** — on the hit-dominated hot-loop microbenchmark under
+   unscaled Table-1 geometry, the engine must beat the scalar loop by
+   ``--min-speedup`` (default 3x — a generous margin under the ~10x+ it
+   measures on a quiet box, so shared CI runners don't flap) and its
+   own counters must show the batch path actually carried the run.
+
+Run via CI or directly::
+
+    PYTHONPATH=src python benchmarks/vectorized_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.mmu.hierarchy import HierarchyConfig
+from repro.mmu.tlb import TLBConfig
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import BuiltWorkload, build_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / "scheme_cells.json"
+
+
+def check_golden_identity() -> int:
+    """Engine-on runs must reproduce every pre-engine golden cell."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    workload = build_workload(golden["workload"], scale=64, seed=0)
+    failures = 0
+    for rec in golden["results"]:
+        cfg = SimConfig(
+            num_refs=golden["refs"], thp=rec["thp"],
+            vectorized_engine=True, vectorized_min_fast=0.0,
+        )
+        result = asdict(Simulator(rec["scheme"], workload, cfg).run())
+        ok = result == rec
+        failures += not ok
+        print(f"  golden {rec['scheme']:8s} thp={int(rec['thp'])}  "
+              f"{'ok' if ok else 'DIVERGED'}")
+    return failures
+
+
+def _hot_loop_workload() -> BuiltWorkload:
+    """Cyclic 8-byte stride over 16 KB of gups's heap: resident in the
+    unscaled L1 TLB and L1D after one lap, so the batch path dominates."""
+    gups = build_workload("gups", scale=64, seed=0)
+    base = int(gups.trace(16, 1)[0]) & ~0xFFF
+
+    def trace_fn(num_refs, trace_seed):
+        offsets = (np.arange(num_refs, dtype=np.int64) * 8) % (16 << 10)
+        return base + offsets
+
+    return BuiltWorkload(gups.info, gups.space, trace_fn)
+
+
+def _timed_run(workload, refs: int, vectorized: bool, rounds: int):
+    best = result = stats = None
+    for _ in range(rounds):
+        cfg = SimConfig(
+            num_refs=refs, hierarchy=HierarchyConfig(), tlb=TLBConfig()
+        )
+        cfg.vectorized_engine = vectorized
+        sim = Simulator("radix", workload, cfg)
+        start = time.perf_counter()
+        res = sim.run()
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best, result, stats = wall, res, sim.vectorized_stats
+    return best, result, stats
+
+
+def check_perf_floor(refs: int, min_speedup: float, rounds: int) -> int:
+    workload = _hot_loop_workload()
+    _timed_run(workload, refs, True, 1)  # warm-up absorbs one-time costs
+    scalar_wall, scalar_res, _ = _timed_run(workload, refs, False, rounds)
+    vec_wall, vec_res, stats = _timed_run(workload, refs, True, rounds)
+    speedup = scalar_wall / vec_wall
+    print(f"  hot loop {refs} refs: scalar {refs / scalar_wall:9.0f} -> "
+          f"vectorized {refs / vec_wall:9.0f} refs/s  ({speedup:.2f}x)")
+
+    failures = 0
+    if asdict(scalar_res) != asdict(vec_res):
+        print("FAIL: engine diverged from the scalar loop on the hot loop")
+        failures += 1
+    if stats is None or stats["batched_refs"] < refs // 2:
+        print(f"FAIL: batch path did not carry the run (stats={stats})")
+        failures += 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below the {min_speedup:.1f}x floor")
+        failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--refs", type=int, default=200_000,
+                        help="hot-loop references per timed run")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail if vectorized/scalar falls below this")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per variant (best wall kept)")
+    args = parser.parse_args(argv)
+
+    print("vectorized_smoke: golden bit-identity (engine forced on):")
+    failures = check_golden_identity()
+    print("vectorized_smoke: perf floor on the hit-dominated hot loop:")
+    failures += check_perf_floor(args.refs, args.min_speedup, args.rounds)
+    if failures:
+        print(f"vectorized_smoke: {failures} check(s) FAILED")
+        return 1
+    print("vectorized_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,9 @@ returns the translation and the cycles the reference spent in the MMU
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
-from repro.mmu.tlb import TLBConfig, TLBHierarchy
+from repro.mmu.tlb import TLBArray, TLBConfig, TLBHierarchy
 from repro.types import PTE, PageSize
 
 
@@ -36,6 +36,29 @@ class MMUStats:
         if reached_l2 <= 0:
             return 0.0
         return 1.0 - self.l2_tlb_hits / reached_l2
+
+
+class PackedTLBContext(NamedTuple):
+    """Snapshot handle exported by :meth:`MMU.packed_context`.
+
+    ``front`` and ``l1_4k`` are *live* structures — the fast loop reads
+    the front dict fresh on every probe, which is why the PR 5 loop
+    needs no revalidation.  Consumers that derive cached state from the
+    snapshot (sorted key arrays, membership masks — the vectorized
+    engine) must not trust that derived state past a membership change:
+    ``version`` pins the L1 membership epoch at export time, and
+    :meth:`is_stale` reports whether any walker-side fill, eviction,
+    invalidate or flush has happened since.  Stale consumers either
+    rebuild or replay :attr:`TLBArray.membership_log` deltas.
+    """
+
+    front: dict
+    l1_4k: TLBArray
+    stats: "MMUStats"
+    version: int
+
+    def is_stale(self) -> bool:
+        return self.l1_4k.membership_version != self.version
 
 
 class MMU:
@@ -90,18 +113,28 @@ class MMU:
         self.tlb.insert(outcome.pte, asid)
         return outcome.pte, tlb_latency + outcome.cycles
 
-    def packed_context(self):
-        """(front index, L1-4K array, stats) for the simulator's
-        packed-trace loop (:meth:`Simulator.run_standard`).
+    def packed_context(self) -> PackedTLBContext:
+        """Export the L1 front-index context for the packed-trace loops.
 
-        The loop inlines the ``translate`` front-index probe using the
-        trace's precomputed VPN column, charging exactly the counters
-        the probe above charges; on a front miss it falls through to
+        The scalar fast loop (:meth:`Simulator.run_standard`) inlines
+        the ``translate`` front-index probe using the trace's
+        precomputed VPN column, charging exactly the counters the probe
+        above charges; on a front miss it falls through to
         :meth:`translate`, whose own (missing) probe is a no-op.  The
-        front index is an empty dict when disabled, so the caller
-        needs no mode branch — every probe just misses.
+        front index is an empty dict when disabled, so the caller needs
+        no mode branch — every probe just misses.
+
+        The returned :class:`PackedTLBContext` carries the L1-4K
+        membership version at export time: any consumer that caches
+        state *derived* from the snapshot (rather than re-probing the
+        live dict per reference) must check :meth:`~PackedTLBContext.
+        is_stale` — a walker-side TLB fill mid-epoch bumps the version,
+        so a stale derived index can never be used silently.
         """
-        return self._front, self._l1_4k, self.stats
+        return PackedTLBContext(
+            self._front, self._l1_4k, self.stats,
+            self._l1_4k.membership_version,
+        )
 
     def invalidate(self, vpn: int, asid: int = 0) -> None:
         """TLB shootdown for one page (section 5.2)."""

@@ -9,7 +9,7 @@ its own VPN granularity) — exactly what x86 L1/L2 TLBs do.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.types import PTE, PageSize
 
@@ -50,6 +50,19 @@ class TLBArray:
         # insert; a mismatched hit simply falls back to the slow probe,
         # so contents and stats stay bit-identical either way.
         self.front: Optional[Dict[int, tuple]] = {} if front_index else None
+        # Membership epoch: bumped on every change to *which* entries
+        # the array holds (insert, replace, eviction, invalidate,
+        # flush).  LRU reordering on a hit does not bump it.  Consumers
+        # that export a membership snapshot (MMU.packed_context, the
+        # vectorized trace engine) compare this against the version
+        # they snapshotted at to detect staleness.
+        self.membership_version = 0
+        # Optional membership delta log: when a consumer attaches a
+        # list here, every membership change is appended as
+        # ("add", asid, page_vpn, pte, set dict, set key) or
+        # ("del", asid, page_vpn), in mutation order.  This lets a
+        # snapshot holder replay deltas instead of re-walking the sets.
+        self.membership_log: Optional[List[tuple]] = None
 
     def _key(self, vpn: int, asid: int) -> Tuple[int, Tuple[int, int]]:
         page_vpn = vpn // self._page_span
@@ -73,6 +86,7 @@ class TLBArray:
 
     def insert(self, pte: PTE, asid: int) -> None:
         front = self.front
+        log = self.membership_log
         page_vpn = pte.vpn // self._page_span
         key = (asid, page_vpn)
         tlb_set = self._sets.setdefault(page_vpn % self.num_sets, {})
@@ -85,15 +99,24 @@ class TLBArray:
                 entry = front.get(victim[1])
                 if entry is not None and entry[0] == victim[0]:
                     del front[victim[1]]
+            if log is not None:
+                log.append(("del", victim[0], victim[1]))
         tlb_set[key] = pte
+        self.membership_version += 1
         if front is not None:
             front[key[1]] = (asid, pte, tlb_set, key)
+        if log is not None:
+            # A re-insert of a present key is logged as an "add" too:
+            # membership is unchanged but the PTE payload may not be.
+            log.append(("add", asid, page_vpn, pte, tlb_set, key))
 
     def invalidate(self, vpn: int, asid: int) -> None:
         set_idx, key = self._key(vpn, asid)
         tlb_set = self._sets.get(set_idx)
-        if tlb_set is not None:
-            tlb_set.pop(key, None)
+        if tlb_set is not None and tlb_set.pop(key, None) is not None:
+            self.membership_version += 1
+            if self.membership_log is not None:
+                self.membership_log.append(("del", asid, key[1]))
         front = self.front
         if front is not None:
             entry = front.get(key[1])
@@ -101,13 +124,30 @@ class TLBArray:
                 del front[key[1]]
 
     def flush_asid(self, asid: int) -> None:
+        log = self.membership_log
         for tlb_set in self._sets.values():
             for key in [k for k in tlb_set if k[0] == asid]:
                 del tlb_set[key]
+                self.membership_version += 1
+                if log is not None:
+                    log.append(("del", asid, key[1]))
         front = self.front
         if front is not None:
             for vpn in [v for v, entry in front.items() if entry[0] == asid]:
                 del front[vpn]
+
+    def snapshot_entries(self) -> Iterator[tuple]:
+        """Yield every resident entry as (asid, page_vpn, pte, set dict,
+        set key), LRU-first within each set.
+
+        Together with :attr:`membership_version` (capture it first) and
+        :attr:`membership_log` this is the array's snapshot/export API:
+        a consumer walks the entries once, then either replays the log
+        or discards its snapshot when the version moves.
+        """
+        for tlb_set in self._sets.values():
+            for key, pte in tlb_set.items():
+                yield key[0], key[1], pte, tlb_set, key
 
     @property
     def accesses(self) -> int:

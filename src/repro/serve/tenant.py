@@ -48,6 +48,7 @@ from repro.mmu.mmu import MMU
 from repro.schemes import registry
 from repro.sim.config import SimConfig
 from repro.sim.journal import record_digest
+from repro.sim.vectorized import SERVE_BATCH_MIN, serve_batch_translate
 from repro.types import TranslationError
 
 __all__ = ["Tenant", "TenantSpec", "QUARANTINE_ERRORS"]
@@ -240,9 +241,41 @@ class Tenant:
         would report.  A VA outside every VMA is a per-request error
         (the batch stops there, state keeps everything already
         applied; deterministic, so replay reproduces it exactly).
+
+        Batches of at least :data:`~repro.sim.vectorized.
+        SERVE_BATCH_MIN` addresses route through the vectorized epoch
+        engine (fault-free tenants only) — bit-identical counters,
+        cycles and TLB state by the engine's contract, so journal
+        replays and digests are unaffected by which path served a
+        batch.  ``progress`` is updated in order, so a mid-batch
+        unmappable VA leaves exactly the scalar loop's partial counts.
         """
         if not isinstance(vas, list):
             raise ProtocolError("translate needs a list of virtual addresses")
+        if (
+            self.injector is None
+            and len(vas) >= SERVE_BATCH_MIN
+            and self.config.vectorized_engine
+            and self.descriptor.supports_vectorized
+        ):
+            try:
+                ints = [int(va) for va in vas]
+            except (TypeError, ValueError):
+                # A malformed element: let the scalar loop below reach
+                # it in sequence and surface the identical error.
+                ints = None
+            if ints is not None:
+                progress = [0, 0]
+                try:
+                    serve_batch_translate(
+                        self.mmu, self.process.handle_fault, ints, progress,
+                        epoch=self.config.vectorized_epoch,
+                        min_fast=self.config.vectorized_min_fast,
+                    )
+                finally:
+                    self.counters.translates += 1
+                    self.counters.refs += progress[0]
+                return {"refs": progress[0], "mmu_cycles": progress[1]}
         translate = self.mmu.translate
         fault = self.process.handle_fault
         injector = self.injector

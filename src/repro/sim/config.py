@@ -141,6 +141,19 @@ class SimConfig:
     # Cache directory override; None = $REPRO_CACHE_DIR or
     # ~/.cache/repro/traces.
     trace_cache_dir: Optional[str] = None
+    # Epoch-based vectorized trace engine (repro/sim/vectorized.py):
+    # whole-array TLB classification per epoch, scalar walker fallback
+    # for the miss minority.  Bit-identical to the scalar loops by
+    # contract (golden cells + property tests); it silently disables
+    # itself for configurations it cannot model exactly.  All three
+    # knobs are speed-only and excluded from the journal fingerprint.
+    vectorized_engine: bool = True
+    # References per epoch (the batch-classification window).
+    vectorized_epoch: int = 4096
+    # Epochs whose predicted L1-TLB-hit fraction falls below this run
+    # through the scalar loop instead (batch bookkeeping would cost
+    # more than it saves); 0.0 forces every epoch through the engine.
+    vectorized_min_fast: float = 0.55
 
     def validate(self) -> None:
         """Reject impossible configurations with a clear message.
@@ -167,6 +180,15 @@ class SimConfig:
         if self.phys_mem_bytes is not None and self.phys_mem_bytes <= 0:
             raise ConfigError(
                 f"phys_mem_bytes must be positive, got {self.phys_mem_bytes!r}"
+            )
+        if self.vectorized_epoch < 1:
+            raise ConfigError(
+                f"vectorized_epoch must be >= 1, got {self.vectorized_epoch!r}"
+            )
+        if not (0.0 <= self.vectorized_min_fast <= 1.0):
+            raise ConfigError(
+                f"vectorized_min_fast={self.vectorized_min_fast!r} must be "
+                "within [0, 1]"
             )
         self.hierarchy.validate()
         self.tlb.validate()

@@ -120,13 +120,19 @@ def config_fingerprint(config: SimConfig) -> str:
     The trace-pipeline knobs (``packed_traces``, ``use_trace_cache``,
     ``trace_cache_dir``) are excluded too: they change how traces are
     produced and shared, never the simulated numbers — a sweep
-    journaled with the cache on must resume cleanly with it off.
+    journaled with the cache on must resume cleanly with it off.  The
+    vectorized-engine knobs (``vectorized_engine``, ``vectorized_epoch``,
+    ``vectorized_min_fast``) are excluded for the same reason: the
+    engine is bit-identical to the scalar loop by contract.
     """
     fields = asdict(config)
     fields.pop("thp", None)
     fields.pop("packed_traces", None)
     fields.pop("use_trace_cache", None)
     fields.pop("trace_cache_dir", None)
+    fields.pop("vectorized_engine", None)
+    fields.pop("vectorized_epoch", None)
+    fields.pop("vectorized_min_fast", None)
     return _digest(fields)
 
 

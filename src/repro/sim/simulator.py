@@ -65,6 +65,9 @@ class Simulator:
             FaultInjector(plan) if plan is not None and plan.enabled else None
         )
         self.incorrect_translations = 0
+        # Filled by the vectorized engine when a run goes through it:
+        # per-phase fastpath attribution (see repro/sim/vectorized.py).
+        self.vectorized_stats: Optional[dict] = None
         # ``allocator`` lets the fragmentation studies (sections 7.3,
         # 7.5.3) back the page tables with a pre-fragmented buddy.
         self.allocator = allocator if allocator is not None else self._make_allocator()
@@ -146,13 +149,29 @@ class Simulator:
                 else [int(v) for v in trace]
             )
         if packed and injector is None and not verify:
+            # Epoch-based vectorized engine (repro/sim/vectorized.py):
+            # whole-array classification per epoch, this scalar loop's
+            # body for the miss minority.  ``try_build`` returns None
+            # for any configuration the engine cannot model exactly,
+            # and the loops below remain the reference semantics.
+            if self.config.vectorized_engine and self.descriptor.supports_vectorized:
+                from repro.sim.vectorized import VectorizedEngine
+
+                engine = VectorizedEngine.try_build(self, trace)
+                if engine is not None:
+                    totals = engine.run()
+                    # Fastpath attribution for benchmarks/tests (where
+                    # references went: batch replay vs scalar body).
+                    self.vectorized_stats = engine.counters
+                    return totals
             # Packed fast loop: the trace's precomputed VPN column
             # feeds the L1 front-index probe directly, inlined from
             # ``MMU.translate`` with identical counter updates (a front
             # hit costs zero MMU cycles there too).  A miss falls
             # through to ``translate``, whose own probe of the absent
             # key is a no-op — stats stay bit-identical either way.
-            front, l1_4k, stats = self.mmu.packed_context()
+            ctx = self.mmu.packed_context()
+            front, l1_4k, stats = ctx.front, ctx.l1_4k, ctx.stats
             for va, vpn in zip(refs, trace.vpns):
                 entry = front.get(vpn)
                 if entry is not None and entry[0] == 0:

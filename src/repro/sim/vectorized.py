@@ -1,0 +1,735 @@
+"""Epoch-based vectorized batch translation engine.
+
+The scalar trace loops (:meth:`Simulator.run_standard`) pay the Python
+interpreter per reference — a dict probe, a handful of counter
+increments and a cache access per loop iteration.  This engine
+processes a :class:`~repro.workloads.compile.CompiledTrace` in fixed
+*epochs* (``SimConfig.vectorized_epoch`` references at a time) and does
+the classification work as whole-array NumPy math, dropping to the
+scalar ``MMU.translate``/``MemoryHierarchy.access`` path only for the
+references it cannot prove fast:
+
+* **TLB side** — the L1 front index (``vpn -> entry``) is snapshotted
+  into a sorted key array once per epoch; one ``searchsorted`` per
+  epoch classifies every reference as *front hit* or *scalar*.  The
+  4 KB front index is exact: membership of the VPN (ASID 0) in the
+  snapshot is equivalent to the scalar probe hitting, and every
+  membership change between snapshot and use is caught by the
+  :attr:`~repro.mmu.tlb.TLBArray.membership_log` (drained after each
+  scalar reference; affected later positions are downgraded to
+  scalar).
+* **Data side** — a front-hit reference's physical address is
+  ``va + delta`` with a per-PTE constant ``delta``, so the epoch's L1D
+  line numbers are one vector op.  Lines resident in the L1D snapshot
+  whose set has seen no fill/eviction since the snapshot are
+  *guaranteed hits* (a hit never changes membership); everything else
+  runs through the scalar ``access()``.  Scalar misses mark their
+  fill/prefetch target sets dirty, downgrading later references in
+  those sets.
+* **Batch replay** — a run of consecutive fast references is replayed
+  in bulk: counters advance by the run length, latency accumulates as
+  ``count * l1_latency``, and the LRU state of both the TLB set dicts
+  and the L1D set dicts is fixed up per *unique* key in last-touch
+  order, which reproduces the scalar loop's final LRU order exactly
+  (within a fast run every touch is a hit, so only recency changes).
+* **Miss-path batching** — schemes whose walk is closed-form (the
+  ideal oracle; see :meth:`SchemeDescriptor.make_batch_walker`) get an
+  inline miss path: when a VPN's key is provably absent from all four
+  TLB arrays, the engine replays the full miss recipe (four array
+  misses, L2-TLB latency, one ``walk_access``, walker counters, TLB
+  insert) without entering the walker call chain.
+
+Exactness is the hard contract: every counter, every cycle total and
+the final TLB/cache state are bit-identical to the scalar loops.  The
+engine is *conservative* everywhere — any reference it is not sure
+about runs scalar, which is always exact — and it self-disables (falls
+back to the scalar loop) for configurations it cannot model:
+
+* fault injection or translation verification enabled,
+* a scheme that opts out (``supports_vectorized = False``),
+* a non-stock cache hierarchy / TLB hierarchy subclass,
+* page walks entering at the L1 (walker L1D traffic would invalidate
+  the residency snapshot),
+* cache level latencies that collide (the scalar path's returned
+  latency is the engine's only signal of which level hit),
+* the L1 front index disabled.
+
+Epochs whose predicted fast fraction falls below
+``SimConfig.vectorized_min_fast`` run through the scalar loop body
+instead (the batch bookkeeping would cost more than it saves); a
+membership-churn budget likewise degrades a pathological epoch to the
+scalar body rather than going quadratic.  docs/INTERNALS.md §14 walks
+through the model and its proofs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mmu.hierarchy import MemoryHierarchy
+from repro.mmu.tlb import TLBHierarchy
+from repro.types import PageSize, TranslationError
+from repro.workloads.compile import CompiledTrace
+
+__all__ = ["VectorizedEngine", "serve_batch_translate", "SERVE_BATCH_MIN"]
+
+#: Minimum serve-request batch size routed through the vectorized
+#: translate path; smaller requests stay on the scalar loop (the
+#: per-batch NumPy setup would dominate).
+SERVE_BATCH_MIN = 256
+
+_2M_SPAN_SHIFT = 9  # 2 MB pages span 512 = 2**9 base pages
+
+
+class VectorizedEngine:
+    """One run's engine instance; build via :meth:`try_build`.
+
+    Holds per-run references (MMU, hierarchy, trace) plus the derived
+    per-epoch state (front-index snapshot, L1D residency snapshot,
+    dirty-set mask).  All derived state is rebuilt every epoch and kept
+    honest between rebuilds by the TLB membership log and the scalar
+    path's returned latencies.
+    """
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def try_build(cls, sim, trace) -> Optional["VectorizedEngine"]:
+        """The engine for this run, or None when any exactness
+        precondition fails (the caller then uses the scalar loop)."""
+        config = sim.config
+        if not isinstance(trace, CompiledTrace) or len(trace) == 0:
+            return None
+        if not config.vectorized_engine or not sim.descriptor.supports_vectorized:
+            return None
+        if sim.injector is not None or config.verify_translations:
+            return None
+        hierarchy = sim.hierarchy
+        if type(hierarchy) is not MemoryHierarchy:
+            return None
+        if hierarchy.config.walker_entry == "l1":
+            # Walk traffic through the L1D would change line residency
+            # outside the engine's dirty-set tracking.
+            return None
+        l1 = hierarchy.l1
+        if not l1._stock_locate or l1._line_shift is None:
+            return None
+        mmu = sim.mmu
+        if type(mmu.tlb) is not TLBHierarchy:
+            return None
+        l1_4k = mmu.tlb.l1[PageSize.SIZE_4K]
+        if l1_4k.front is None:
+            return None
+        # The scalar access() return value must identify the level that
+        # hit (the engine's only signal for dirty-set marking).
+        lats = {
+            hierarchy.l1.latency, hierarchy.l2.latency,
+            hierarchy.l3.latency, hierarchy._dram_latency,
+        }
+        if len(lats) != 4:
+            return None
+        return cls(sim, trace)
+
+    def __init__(self, sim, trace: CompiledTrace):
+        self.sim = sim
+        self.trace = trace
+        config = sim.config
+        self.epoch = config.vectorized_epoch
+        self.min_fast = config.vectorized_min_fast
+        mmu = sim.mmu
+        self.mmu = mmu
+        self.stats = mmu.stats
+        self.tlb = mmu.tlb
+        self.l1_4k = mmu.tlb.l1[PageSize.SIZE_4K]
+        self.front = self.l1_4k.front
+        self.translate = mmu.translate
+        self.fault = sim.process.handle_fault
+        hierarchy = sim.hierarchy
+        self.access = hierarchy.access
+        self.walk_access = hierarchy.walk_access
+        self.l1c = hierarchy.l1
+        self.num_sets = hierarchy.l1.num_sets
+        self.line_shift = hierarchy.l1._line_shift
+        self.l1_lat = hierarchy.l1.latency
+        self.dram_lat = hierarchy._dram_latency
+        self.prefetch_degree = (
+            hierarchy.config.prefetch_degree if hierarchy._do_prefetch else 0
+        )
+        self.l2_tlb_lat = mmu.tlb.config.l2_latency
+        self.walker = sim.walker
+        self.batch_walk = sim.descriptor.make_batch_walker(sim)
+        # Arrays whose membership the engine mirrors: the L1-4K array
+        # always (front classification); all four when the miss-path
+        # batcher needs whole-hierarchy absence proofs.
+        l1_2m = mmu.tlb.l1[PageSize.SIZE_2M]
+        l2_4k = mmu.tlb.l2[PageSize.SIZE_4K]
+        l2_2m = mmu.tlb.l2[PageSize.SIZE_2M]
+        if self.batch_walk is not None:
+            self._logged = [self.l1_4k, l1_2m, l2_4k, l2_2m]
+            self._key_sets: Optional[List[set]] = [set(), set(), set(), set()]
+            self._key_versions = [-1, -1, -1, -1]
+        else:
+            self._logged = [self.l1_4k]
+            self._key_sets = None
+            self._key_versions = [-1]
+        # A non-zero ASID anywhere disables the engine for the rest of
+        # the run: the front index keeps only the latest insert per
+        # VPN, so multi-ASID traffic can shadow the snapshot's entries.
+        self._disabled = False
+        # Snapshot caches.  Batch replay never changes membership of
+        # anything, so on a steady-state hot loop (whole epochs with
+        # zero scalar refs) both snapshots stay valid across epochs:
+        # the front cache is keyed on the L1-4K membership version and
+        # the residency cache is invalidated whenever a scalar
+        # reference has touched the data hierarchy since it was taken.
+        self._front_cache: "tuple" = (None, None)
+        self._front_cache_version = -1
+        self._resident_cache = None
+        self._resident_dirty = True
+        #: Fastpath attribution, surfaced as ``Simulator.
+        #: vectorized_stats`` for the benchmark's per-phase breakdown:
+        #: epochs processed vs bailed, references replayed in batch vs
+        #: run scalar (front-index miss, data-hierarchy downgrade, or a
+        #: bailed epoch), and closed-form miss-batch walks.
+        self.counters = {
+            "epochs": 0,
+            "bailed_epochs": 0,
+            "batched_refs": 0,
+            "scalar_refs": 0,
+            "missbatch_refs": 0,
+        }
+
+    # -- the run -------------------------------------------------------
+
+    def run(self) -> "tuple[int, int]":
+        """Drive the whole trace; returns (data_stall, mmu_cycles)."""
+        trace = self.trace
+        va_list = trace.vas
+        vpn_list = trace.vpns
+        data_stall = 0
+        mmu_cycles = 0
+        for arr in self._logged:
+            arr.membership_log = []
+        try:
+            for start, stop, va_arr, vpn_arr in trace.epochs(self.epoch):
+                self.counters["epochs"] += 1
+                if self._disabled:
+                    self.counters["bailed_epochs"] += 1
+                    ds, mc = self._scalar_span(start, stop, va_list, vpn_list)
+                else:
+                    ds, mc = self._run_epoch(
+                        start, stop, va_arr, vpn_arr, va_list, vpn_list
+                    )
+                data_stall += ds
+                mmu_cycles += mc
+        finally:
+            for arr in self._logged:
+                arr.membership_log = None
+        return data_stall, mmu_cycles
+
+    # -- per-epoch machinery -------------------------------------------
+
+    def _sync_views(self) -> None:
+        """Epoch-start resync: discard stale log entries (the epoch
+        snapshots are taken fresh below) and rebuild the miss-path key
+        sets for any array whose membership moved while the engine was
+        not draining (a scalar-body epoch)."""
+        for arr in self._logged:
+            arr.membership_log.clear()
+        if self._key_sets is None:
+            return
+        for i, arr in enumerate(self._logged):
+            if self._key_versions[i] != arr.membership_version:
+                self._key_sets[i] = {
+                    page_vpn
+                    for asid, page_vpn, _pte, _s, _k in arr.snapshot_entries()
+                    if asid == 0
+                }
+                self._key_versions[i] = arr.membership_version
+
+    def _snapshot_front(self):
+        """Sorted (vpn, delta) arrays over the live front index's
+        ASID-0 entries.  ``delta`` is the per-PTE constant such that
+        ``paddr = va + delta`` (4 KB entries only live here, so
+        ``delta = (ppn - vpn) << 12``)."""
+        version = self.l1_4k.membership_version
+        if version == self._front_cache_version:
+            return self._front_cache
+        vpns = []
+        deltas = []
+        for vpn, entry in self.front.items():
+            if entry[0] == 0:
+                pte = entry[1]
+                vpns.append(vpn)
+                deltas.append((pte.ppn - pte.vpn) << 12)
+        if not vpns:
+            self._front_cache = (None, None)
+        else:
+            fva = np.fromiter(vpns, dtype=np.int64, count=len(vpns))
+            fda = np.fromiter(deltas, dtype=np.int64, count=len(deltas))
+            order = np.argsort(fva)
+            self._front_cache = (fva[order], fda[order])
+        self._front_cache_version = version
+        return self._front_cache
+
+    def _snapshot_residency(self):
+        """Sorted array of the L1D's resident line numbers."""
+        if not self._resident_dirty:
+            return self._resident_cache
+        lines: List[int] = []
+        for _set_idx, set_lines in self.l1c.lru_snapshot():
+            lines.extend(set_lines)
+        if not lines:
+            arr = None
+        else:
+            arr = np.fromiter(lines, dtype=np.int64, count=len(lines))
+            arr.sort()
+        self._resident_cache = arr
+        self._resident_dirty = False
+        return arr
+
+    def _run_epoch(self, start, stop, va_arr, vpn_arr, va_list, vpn_list):
+        n = stop - start
+        self._sync_views()
+        fva, fda = self._snapshot_front()
+        if fva is None:
+            # Empty front: nothing to batch.
+            self.counters["bailed_epochs"] += 1
+            return self._scalar_span(start, stop, va_list, vpn_list)
+        # -- whole-array classification -------------------------------
+        idx = np.searchsorted(fva, vpn_arr)
+        np.minimum(idx, len(fva) - 1, out=idx)
+        front_hit = fva[idx] == vpn_arr
+        # Early bail on the front-index test alone: fast refs are a
+        # subset of front hits, so an epoch that can't clear the
+        # threshold here never will — and skipping the L1D residency
+        # snapshot (a walk over every resident line) is the whole point
+        # of bailing cheaply on miss-heavy epochs.
+        if int(front_hit.sum()) < self.min_fast * n:
+            self.counters["bailed_epochs"] += 1
+            return self._scalar_span(start, stop, va_list, vpn_list)
+        delta = fda[idx]
+        paddr = va_arr + delta
+        line = paddr >> self.line_shift
+        set_col = line % self.num_sets
+        resident = self._snapshot_residency()
+        if resident is None:
+            fast = np.zeros(n, dtype=bool)
+        else:
+            ridx = np.searchsorted(resident, line)
+            np.minimum(ridx, len(resident) - 1, out=ridx)
+            fast = front_hit & (resident[ridx] == line)
+        nfast = int(fast.sum())
+        if nfast < self.min_fast * n:
+            self.counters["bailed_epochs"] += 1
+            return self._scalar_span(start, stop, va_list, vpn_list)
+        # -- the cursor loop ------------------------------------------
+        data_stall = 0
+        mmu_cycles = 0
+        dirty = np.zeros(self.num_sets, dtype=bool)
+        scalar_pos = np.nonzero(~fast)[0].tolist()
+        heap: List[int] = []
+        sp_i = 0
+        # Membership/dirty churn budget: each unit is one vector scan
+        # over the epoch's tail.  A pathological epoch (every scalar
+        # reference churning the TLB or a fresh cache set) degrades to
+        # the scalar body instead of going quadratic.
+        budget = n
+        vpn_lo = int(vpn_arr.min())
+        vpn_hi = int(vpn_arr.max())
+        cursor = 0
+        while cursor < n:
+            while sp_i < len(scalar_pos) and scalar_pos[sp_i] < cursor:
+                sp_i += 1
+            while heap and heap[0] < cursor:
+                heapq.heappop(heap)
+            nxt = scalar_pos[sp_i] if sp_i < len(scalar_pos) else n
+            if heap and heap[0] < nxt:
+                nxt = heap[0]
+            if nxt > cursor:
+                data_stall += self._batch_run(cursor, nxt, vpn_arr, line)
+            if nxt >= n:
+                break
+            pos = nxt
+            ds, mc = self._scalar_ref(
+                va_list[start + pos], vpn_list[start + pos],
+                pos, n, fast, heap, set_col, dirty,
+            )
+            data_stall += ds
+            mmu_cycles += mc
+            cursor = pos + 1
+            budget = self._drain(pos, n, vpn_arr, vpn_lo, vpn_hi,
+                                 fast, heap, budget)
+            budget = self._apply_dirty(pos, n, fast, heap, set_col,
+                                       dirty, budget)
+            if budget < 0 or self._disabled:
+                ds, mc = self._scalar_span(
+                    start + cursor, stop, va_list, vpn_list
+                )
+                return data_stall + ds, mmu_cycles + mc
+        return data_stall, mmu_cycles
+
+    # -- batch (fast-run) replay ---------------------------------------
+
+    def _batch_run(self, i, j, vpn_arr, line) -> int:
+        """Replay fast positions [i, j): every one is an L1-front TLB
+        hit and a guaranteed L1D hit.  Counters advance in bulk; the
+        TLB and L1D set dicts get one MRU fixup per unique key, applied
+        in last-touch order — which leaves exactly the LRU state the
+        scalar loop would have left (all touches are hits, so only
+        recency changes, and final recency order is last-touch order).
+        """
+        count = j - i
+        self.counters["batched_refs"] += count
+        l1_4k = self.l1_4k
+        stats = self.stats
+        l1_4k.hits += count
+        stats.translations += count
+        stats.l1_tlb_hits += count
+        l1c = self.l1c
+        l1c.hits += count
+        # TLB MRU fixups (front entries are live: any membership or
+        # payload change before these positions would have downgraded
+        # them via the log drain).
+        seg = vpn_arr[i:j]
+        uniq, ridx = np.unique(seg[::-1], return_index=True)
+        order = np.argsort((count - 1) - ridx)
+        front = self.front
+        for vpn in uniq[order].tolist():
+            entry = front[vpn]
+            tlb_set, key = entry[2], entry[3]
+            pte = tlb_set.pop(key)
+            tlb_set[key] = pte
+        # L1D MRU fixups.
+        seg_lines = line[i:j]
+        uniq, ridx = np.unique(seg_lines[::-1], return_index=True)
+        order = np.argsort((count - 1) - ridx)
+        sets = l1c._sets
+        num_sets = self.num_sets
+        for ln in uniq[order].tolist():
+            cache_set = sets[ln % num_sets]
+            tag = ln // num_sets
+            del cache_set[tag]
+            cache_set[tag] = None
+        return count * self.l1_lat
+
+    # -- the scalar reference body -------------------------------------
+
+    def _scalar_ref(self, va, vpn, pos, n, fast, heap, set_col, dirty):
+        """One reference through the exact scalar path (with the
+        closed-form miss batch when the scheme provides one and the VPN
+        is provably absent from every TLB array)."""
+        pte = None
+        tcycles = 0
+        mmu_cycles = 0
+        self.counters["scalar_refs"] += 1
+        key_sets = self._key_sets
+        if key_sets is not None:
+            k14, k12, k24, k22 = key_sets
+            big = vpn >> _2M_SPAN_SHIFT
+            if (
+                vpn not in k14 and big not in k12
+                and vpn not in k24 and big not in k22
+            ):
+                walked = self.batch_walk(vpn)
+                if walked is not None:
+                    # Inline replay of MMU.translate's all-miss path:
+                    # front probe misses (key absence implies it), all
+                    # four array probes miss, the walk issues its one
+                    # access, and the result fills the TLB.
+                    pte, wpaddr = walked
+                    stats = self.stats
+                    stats.translations += 1
+                    for arr in self._logged:
+                        arr.misses += 1
+                    stats.tlb_cycles += self.l2_tlb_lat
+                    wcycles = self.walk_access(wpaddr)
+                    walker = self.walker
+                    walker.walks += 1
+                    walker.total_cycles += wcycles
+                    walker.total_accesses += 1
+                    stats.walks += 1
+                    stats.walk_cycles += wcycles
+                    stats.walk_traffic += 1
+                    self.tlb.insert(pte, 0)
+                    mmu_cycles = self.l2_tlb_lat + wcycles
+                    self.counters["missbatch_refs"] += 1
+        if pte is None:
+            pte, tcycles = self.translate(va)
+            if pte is None:
+                self.fault(va)
+                pte, more = self.translate(va)
+                tcycles += more
+                if pte is None:
+                    raise TranslationError(f"unmappable VA {va:#x}")
+            mmu_cycles = tcycles
+        paddr = pte.translate(va)
+        lat = self.access(paddr)
+        if lat != self.l1_lat:
+            # The L1D filled (and possibly evicted); its set — and the
+            # prefetch target sets on a full DRAM miss — can no longer
+            # vouch for the epoch's residency snapshot.
+            base_line = paddr >> self.line_shift
+            self._resident_dirty = True
+            self._pending_dirty = [base_line % self.num_sets]
+            if lat == self.dram_lat:
+                for step in range(1, self.prefetch_degree + 1):
+                    self._pending_dirty.append(
+                        (base_line + step) % self.num_sets
+                    )
+        else:
+            self._pending_dirty = []
+        return lat, mmu_cycles
+
+    def _apply_dirty(self, pos, n, fast, heap, set_col, dirty, budget):
+        """Mark the scalar reference's fill/prefetch target sets dirty
+        and downgrade every later fast position mapping into them."""
+        for s in self._pending_dirty:
+            if dirty[s]:
+                continue
+            dirty[s] = True
+            budget -= 1
+            tail = pos + 1
+            if tail < n:
+                rel = np.nonzero(fast[tail:] & (set_col[tail:] == s))[0]
+                if rel.size:
+                    hits = rel + tail
+                    fast[hits] = False
+                    for p in hits.tolist():
+                        heapq.heappush(heap, p)
+        self._pending_dirty = []
+        return budget
+
+    def _drain(self, pos, n, vpn_arr, vpn_lo, vpn_hi, fast, heap, budget):
+        """Apply the TLB membership deltas a scalar reference produced:
+        key-set updates for the miss-path batcher, and — for L1-4K
+        changes — downgrade later positions whose classification the
+        change invalidates (an eviction makes a predicted hit wrong; a
+        re-insert may carry a different PTE payload)."""
+        key_sets = self._key_sets
+        for i, arr in enumerate(self._logged):
+            log = arr.membership_log
+            if not log:
+                continue
+            for event in log:
+                kind, asid, page_vpn = event[0], event[1], event[2]
+                if asid != 0:
+                    self._disabled = True
+                    continue
+                if key_sets is not None:
+                    if kind == "add":
+                        key_sets[i].add(page_vpn)
+                    else:
+                        key_sets[i].discard(page_vpn)
+                if arr is self.l1_4k and vpn_lo <= page_vpn <= vpn_hi:
+                    budget -= 1
+                    tail = pos + 1
+                    if tail < n:
+                        rel = np.nonzero(
+                            fast[tail:] & (vpn_arr[tail:] == page_vpn)
+                        )[0]
+                        if rel.size:
+                            hits = rel + tail
+                            fast[hits] = False
+                            for p in hits.tolist():
+                                heapq.heappush(heap, p)
+            log.clear()
+            if key_sets is not None:
+                self._key_versions[i] = arr.membership_version
+        return budget
+
+    # -- the scalar epoch body -----------------------------------------
+
+    def _scalar_span(self, lo, hi, va_list, vpn_list):
+        """References [lo, hi) through the scalar packed-loop body —
+        the bail path for epochs not worth batching.  An exact copy of
+        :meth:`Simulator.run_standard`'s packed fast loop."""
+        front = self.front
+        l1_4k = self.l1_4k
+        stats = self.stats
+        translate = self.translate
+        access = self.access
+        fault = self.fault
+        data_stall = 0
+        mmu_cycles = 0
+        self.counters["scalar_refs"] += hi - lo
+        # Any reference below may fill/evict L1D lines.
+        self._resident_dirty = True
+        # Slicing + zip keeps the per-reference iteration at C speed —
+        # a bailed epoch costs within noise of the packed loop itself.
+        for va, vpn in zip(va_list[lo:hi], vpn_list[lo:hi]):
+            entry = front.get(vpn)
+            if entry is not None and entry[0] == 0:
+                pte, tlb_set, key = entry[1], entry[2], entry[3]
+                del tlb_set[key]
+                tlb_set[key] = pte
+                l1_4k.hits += 1
+                stats.translations += 1
+                stats.l1_tlb_hits += 1
+                data_stall += access(pte.translate(va))
+                continue
+            pte, tcycles = translate(va)
+            if pte is None:
+                fault(va)
+                pte, more = translate(va)
+                tcycles += more
+                if pte is None:
+                    raise TranslationError(f"unmappable VA {va:#x}")
+            mmu_cycles += tcycles
+            data_stall += access(pte.translate(va))
+        return data_stall, mmu_cycles
+
+
+# ---------------------------------------------------------------------
+# Serving-layer batch translation (TLB side only: tenant translate ops
+# never touch a data hierarchy).
+# ---------------------------------------------------------------------
+
+def serve_batch_translate(mmu, handle_fault, vas, progress,
+                          epoch: int = 4096,
+                          min_fast: float = 0.55) -> None:
+    """Batch the serving layer's translate op through the epoch engine.
+
+    ``vas`` must already be plain ints (the caller pre-converts and
+    falls back to its scalar loop if any element refuses).  ``progress``
+    is a mutable ``[done, mmu_cycles]`` pair updated *in order*, so a
+    mid-batch :class:`TranslationError` leaves exactly the partial
+    counts the scalar loop would have accumulated — the caller's
+    ``finally`` accounting and its journal digests stay bit-identical.
+
+    Only the TLB side exists here (tenants translate; they do not
+    access a modelled data hierarchy), so classification is purely the
+    L1 front index: front hits replay in bulk (counters plus last-touch
+    MRU fixups), everything else runs the exact scalar translate body.
+    """
+    l1_4k = mmu.tlb.l1[PageSize.SIZE_4K]
+    front = l1_4k.front
+    stats = mmu.stats
+    translate = mmu.translate
+
+    def scalar_span(span):
+        for va in span:
+            pte, tcycles = translate(va)
+            if pte is None:
+                handle_fault(va)
+                pte, more = translate(va)
+                tcycles += more
+                if pte is None:
+                    raise TranslationError(f"unmappable VA {va:#x}")
+            progress[1] += tcycles
+            progress[0] += 1
+
+    if front is None or type(mmu.tlb) is not TLBHierarchy:
+        scalar_span(vas)
+        return
+    va_all = np.asarray(vas, dtype=np.int64)
+    log_owner = l1_4k.membership_log is None
+    if log_owner:
+        l1_4k.membership_log = []
+    try:
+        for start in range(0, len(vas), epoch):
+            stop = min(start + epoch, len(vas))
+            _serve_epoch(
+                mmu, handle_fault, vas, va_all[start:stop], start,
+                progress, min_fast, l1_4k, front, stats, translate,
+            )
+    finally:
+        if log_owner:
+            l1_4k.membership_log = None
+
+
+def _serve_epoch(mmu, handle_fault, va_list, va_arr, start, progress,
+                 min_fast, l1_4k, front, stats, translate):
+    n = len(va_arr)
+    l1_4k.membership_log.clear()
+    vpns = []
+    for vpn, entry in front.items():
+        if entry[0] == 0:
+            vpns.append(vpn)
+    vpn_arr = va_arr >> 12
+
+    def scalar_span(lo, hi):
+        for i in range(lo, hi):
+            va = va_list[start + i]
+            pte, tcycles = translate(va)
+            if pte is None:
+                handle_fault(va)
+                pte, more = translate(va)
+                tcycles += more
+                if pte is None:
+                    raise TranslationError(f"unmappable VA {va:#x}")
+            progress[1] += tcycles
+            progress[0] += 1
+
+    if not vpns:
+        scalar_span(0, n)
+        return
+    fva = np.fromiter(vpns, dtype=np.int64, count=len(vpns))
+    fva.sort()
+    idx = np.searchsorted(fva, vpn_arr)
+    np.minimum(idx, len(fva) - 1, out=idx)
+    fast = fva[idx] == vpn_arr
+    if int(fast.sum()) < min_fast * n:
+        scalar_span(0, n)
+        return
+    vpn_lo = int(vpn_arr.min())
+    vpn_hi = int(vpn_arr.max())
+    scalar_pos = np.nonzero(~fast)[0].tolist()
+    heap: List[int] = []
+    sp_i = 0
+    budget = n
+    cursor = 0
+    log = l1_4k.membership_log
+    while cursor < n:
+        while sp_i < len(scalar_pos) and scalar_pos[sp_i] < cursor:
+            sp_i += 1
+        while heap and heap[0] < cursor:
+            heapq.heappop(heap)
+        nxt = scalar_pos[sp_i] if sp_i < len(scalar_pos) else n
+        if heap and heap[0] < nxt:
+            nxt = heap[0]
+        if nxt > cursor:
+            count = nxt - cursor
+            l1_4k.hits += count
+            stats.translations += count
+            stats.l1_tlb_hits += count
+            seg = vpn_arr[cursor:nxt]
+            uniq, ridx = np.unique(seg[::-1], return_index=True)
+            order = np.argsort((count - 1) - ridx)
+            for vpn in uniq[order].tolist():
+                entry = front[vpn]
+                tlb_set, key = entry[2], entry[3]
+                pte = tlb_set.pop(key)
+                tlb_set[key] = pte
+            progress[0] += count
+        if nxt >= n:
+            break
+        scalar_span(nxt, nxt + 1)
+        cursor = nxt + 1
+        # Drain the L1-4K membership deltas the scalar reference made;
+        # downgrade later positions whose front prediction they break.
+        if log:
+            for event in log:
+                asid, page_vpn = event[1], event[2]
+                if asid != 0:
+                    budget = -1
+                    break
+                if not (vpn_lo <= page_vpn <= vpn_hi):
+                    continue
+                budget -= 1
+                if cursor < n:
+                    rel = np.nonzero(
+                        fast[cursor:] & (vpn_arr[cursor:] == page_vpn)
+                    )[0]
+                    if rel.size:
+                        hits = rel + cursor
+                        fast[hits] = False
+                        for p in hits.tolist():
+                            heapq.heappush(heap, p)
+            log.clear()
+        if budget < 0:
+            scalar_span(cursor, n)
+            return

@@ -139,7 +139,7 @@ class CompiledTrace:
     reuses the trace.
     """
 
-    __slots__ = ("packed", "spec", "source", "_vas", "_vpns")
+    __slots__ = ("packed", "spec", "source", "_vas", "_vpns", "_va_col", "_vpn_col")
 
     def __init__(
         self,
@@ -153,6 +153,8 @@ class CompiledTrace:
         self.source = source
         self._vas: Optional[List[int]] = None
         self._vpns: Optional[List[int]] = None
+        self._va_col: Optional[np.ndarray] = None
+        self._vpn_col: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.packed)
@@ -174,6 +176,41 @@ class CompiledTrace:
         """The raw address column, for consumers of the legacy array
         shape (analysis scripts, the multicore interleaver)."""
         return self.packed["va"]
+
+    @property
+    def va_col(self) -> np.ndarray:
+        """Contiguous read-only ``int64`` VA column.
+
+        Structured-array field views are strided; whole-array math over
+        them forces a copy per operation.  The contiguous column is
+        materialised once per trace and shared by every epoch of every
+        run (the vectorized engine slices it zero-copy).
+        """
+        if self._va_col is None:
+            col = np.ascontiguousarray(self.packed["va"], dtype=np.int64)
+            col.setflags(write=False)
+            self._va_col = col
+        return self._va_col
+
+    @property
+    def vpn_col(self) -> np.ndarray:
+        """Contiguous read-only ``int64`` VPN column (see ``va_col``)."""
+        if self._vpn_col is None:
+            col = np.ascontiguousarray(self.packed["vpn"], dtype=np.int64)
+            col.setflags(write=False)
+            self._vpn_col = col
+        return self._vpn_col
+
+    def epochs(self, epoch: int):
+        """Yield (start, stop, va chunk, vpn chunk) in fixed-size
+        epochs — the vectorized engine's unit of batch processing.
+        Chunks are zero-copy views of the contiguous columns."""
+        if epoch <= 0:
+            raise ValueError(f"epoch size must be positive, got {epoch!r}")
+        va, vpn = self.va_col, self.vpn_col
+        for start in range(0, len(self.packed), epoch):
+            stop = min(start + epoch, len(self.packed))
+            yield start, stop, va[start:stop], vpn[start:stop]
 
 
 def pack_trace(vas: np.ndarray, kind_code: int) -> np.ndarray:

@@ -1,0 +1,263 @@
+"""The vectorized epoch engine (`repro.sim.vectorized`).
+
+The engine's one hard contract is **bit-identity**: a run through the
+epoch engine must produce the same counters, cycles and final TLB/cache
+state as the scalar loops, for every scheme, page mode and epoch size.
+That contract is pinned four ways:
+
+* **Golden cells** — the engine (forced on via ``vectorized_min_fast=0``)
+  reproduces every (scheme, thp) cell of the pre-engine golden file
+  ``tests/golden/scheme_cells.json`` field-for-field.
+* **Scalar cross-check** — engine-on and engine-off runs of the same
+  configuration produce equal ``SimResult`` dicts, including on a
+  hit-dominated (unscaled-geometry) run where the batch path actually
+  dominates.
+* **Property test** — hypothesis drives epoch size (1, odd sizes,
+  powers of two, larger-than-trace) and the min-fast knob; every
+  combination equals the scalar run.  ``epoch=1`` degenerates to the
+  scalar loop one reference at a time.
+* **Snapshot API** — the TLB membership version/log machinery the
+  engine relies on (and ``MMU.packed_context``'s staleness handle)
+  behaves as documented.
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mmu.hierarchy import HierarchyConfig
+from repro.mmu.mmu import MMU
+from repro.mmu.tlb import TLBArray, TLBConfig
+from repro.mmu.walker import IdealWalker
+from repro.pagetables.ideal import IdealPageTable
+from repro.serve.tenant import Tenant, TenantSpec
+from repro.sim import SimConfig, Simulator
+from repro.sim.vectorized import SERVE_BATCH_MIN, VectorizedEngine
+from repro.types import PTE, PageSize
+from repro.workloads import build_workload
+from repro.workloads.registry import BuiltWorkload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scheme_cells.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def gups():
+    return build_workload("gups")
+
+
+@pytest.fixture(scope="module")
+def hot_loop(gups):
+    """A hit-dominated workload: a cyclic 8-byte-stride loop over
+    16 KB of gups's heap — the regime the batch path is built for."""
+    base = int(gups.trace(16, 1)[0]) & ~0xFFF
+
+    def trace_fn(num_refs, trace_seed):
+        offsets = (np.arange(num_refs, dtype=np.int64) * 8) % (16 << 10)
+        return base + offsets
+
+    return BuiltWorkload(gups.info, gups.space, trace_fn)
+
+
+def _run(scheme, workload, **overrides):
+    cfg = SimConfig(**overrides)
+    sim = Simulator(scheme, workload, cfg)
+    return asdict(sim.run()), sim
+
+
+# -- golden bit-identity ------------------------------------------------
+
+class TestGoldenBitIdentity:
+    def test_engine_matches_pre_engine_golden(self, golden, gups):
+        """Every golden (scheme, thp) cell reproduces with the engine
+        forced on (min_fast=0 batches every epoch it legally can)."""
+        assert golden["workload"] == "gups"
+        for rec in golden["results"]:
+            cfg = SimConfig(
+                num_refs=golden["refs"], thp=rec["thp"],
+                vectorized_engine=True, vectorized_min_fast=0.0,
+            )
+            result = asdict(Simulator(rec["scheme"], gups, cfg).run())
+            assert result == rec, (
+                f"{rec['scheme']}/thp={rec['thp']} diverged under the "
+                "vectorized engine"
+            )
+
+
+# -- scalar cross-checks ------------------------------------------------
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("scheme", ["radix", "ideal", "lvm"])
+    @pytest.mark.parametrize("thp", [False, True])
+    def test_scaled_grid(self, gups, scheme, thp):
+        scalar, _ = _run(scheme, gups, num_refs=4000, thp=thp,
+                         vectorized_engine=False)
+        vec, _ = _run(scheme, gups, num_refs=4000, thp=thp,
+                      vectorized_engine=True, vectorized_min_fast=0.0)
+        assert scalar == vec
+
+    def test_hit_dominated_batches_and_matches(self, hot_loop):
+        """On the hot loop the engine really engages (nearly every
+        reference replays in batch) and stays bit-identical."""
+        scalar, _ = _run("radix", hot_loop, num_refs=30_000,
+                         hierarchy=HierarchyConfig(), tlb=TLBConfig(),
+                         vectorized_engine=False)
+        vec, sim = _run("radix", hot_loop, num_refs=30_000,
+                        hierarchy=HierarchyConfig(), tlb=TLBConfig(),
+                        vectorized_engine=True)
+        assert scalar == vec
+        stats = sim.vectorized_stats
+        assert stats is not None
+        assert stats["batched_refs"] > 20_000
+        assert stats["batched_refs"] + stats["scalar_refs"] == 30_000
+
+    def test_default_config_engages_engine(self, hot_loop):
+        """The engine is default-on: a plain SimConfig routes a
+        fault-free packed run through it."""
+        _, sim = _run("radix", hot_loop, num_refs=2000)
+        assert sim.vectorized_stats is not None
+
+    def test_self_disables_for_faulty_and_verify_runs(self, gups):
+        _, sim = _run("radix", gups, num_refs=500,
+                      verify_translations=True)
+        assert sim.vectorized_stats is None
+        cfg = SimConfig(num_refs=500, vectorized_engine=False)
+        sim = Simulator("radix", gups, cfg)
+        sim.run()
+        assert sim.vectorized_stats is None
+
+    def test_try_build_rejects_l1_walker_entry(self, gups):
+        cfg = SimConfig(num_refs=200)
+        cfg.hierarchy.walker_entry = "l1"
+        sim = Simulator("radix", gups, cfg)
+        trace = sim._trace(200)
+        assert VectorizedEngine.try_build(sim, trace) is None
+
+
+# -- property test over epoch geometry ----------------------------------
+
+@pytest.fixture(scope="module")
+def scalar_reference(gups):
+    result, _ = _run("radix", gups, num_refs=1500, vectorized_engine=False)
+    return result
+
+
+@settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    epoch=st.one_of(
+        st.just(1), st.just(2), st.just(4096), st.just(5000),
+        st.integers(min_value=1, max_value=700).filter(lambda e: e % 2 == 1),
+    ),
+    min_fast=st.sampled_from([0.0, 0.55, 1.0]),
+)
+def test_epoch_geometry_is_result_invariant(gups, scalar_reference,
+                                            epoch, min_fast):
+    """Any epoch size — one reference, odd sizes, larger than the whole
+    trace — and any bail threshold produces the scalar result."""
+    vec, _ = _run("radix", gups, num_refs=1500, vectorized_engine=True,
+                  vectorized_epoch=epoch, vectorized_min_fast=min_fast)
+    assert vec == scalar_reference
+
+
+# -- the serving layer's batch path -------------------------------------
+
+class TestServeBatch:
+    def _drive(self, vectorized: bool):
+        tenant = Tenant(TenantSpec(name="t", scheme="radix"))
+        tenant.config.vectorized_engine = vectorized
+        tenant.apply("mmap", {"start_vpn": 0x1000, "pages": 64})
+        rng = np.random.default_rng(3)
+        outputs = []
+        for _ in range(4):
+            pages = 0x1000 + rng.integers(0, 64, SERVE_BATCH_MIN + 100)
+            vas = (pages * 4096 + rng.integers(0, 4096,
+                                               SERVE_BATCH_MIN + 100)).tolist()
+            outputs.append(tenant.apply("translate", {"vas": vas}))
+        outputs.append(tenant.apply("stats", {}))
+        outputs.append(tenant.apply("digest", {}))
+        return outputs
+
+    def test_digests_bit_identical(self):
+        assert self._drive(False) == self._drive(True)
+
+    def test_mid_batch_error_leaves_scalar_partial_state(self):
+        def run(vectorized):
+            tenant = Tenant(TenantSpec(name="t", scheme="radix"))
+            tenant.config.vectorized_engine = vectorized
+            tenant.apply("mmap", {"start_vpn": 0x1000, "pages": 64})
+            vas = [(0x1000 + i % 64) * 4096 for i in range(SERVE_BATCH_MIN)]
+            vas += [0x999999000000, 0x1000 * 4096]
+            with pytest.raises(Exception):
+                tenant.apply("translate", {"vas": vas})
+            return tenant.apply("stats", {}), tenant.apply("digest", {})
+
+        assert run(False) == run(True)
+
+
+# -- the TLB snapshot/version API the engine is built on ----------------
+
+class TestMembershipSnapshotAPI:
+    def _array(self):
+        return TLBArray("t", entries=4, ways=2, page_size=PageSize.SIZE_4K,
+                        front_index=True)
+
+    def test_version_bumps_on_membership_changes_only(self):
+        arr = self._array()
+        v0 = arr.membership_version
+        arr.insert(PTE(vpn=0x10, ppn=1), asid=0)
+        assert arr.membership_version == v0 + 1
+        # A hit reorders LRU but does not change membership.
+        assert arr.lookup(0x10, 0) is not None
+        assert arr.membership_version == v0 + 1
+        arr.invalidate(0x10, 0)
+        assert arr.membership_version == v0 + 2
+        # Invalidating an absent key is a no-op.
+        arr.invalidate(0x10, 0)
+        assert arr.membership_version == v0 + 2
+
+    def test_log_records_adds_deletes_and_evictions(self):
+        arr = self._array()
+        arr.membership_log = []
+        arr.insert(PTE(vpn=0x10, ppn=1), asid=0)
+        assert [e[:3] for e in arr.membership_log] == [("add", 0, 0x10)]
+        arr.membership_log.clear()
+        # Same set (2 sets, 2 ways): 0x10, 0x12, 0x14 collide; the
+        # third insert evicts the LRU (0x10) and logs the eviction.
+        arr.insert(PTE(vpn=0x12, ppn=2), asid=0)
+        arr.insert(PTE(vpn=0x14, ppn=3), asid=0)
+        kinds = [e[:3] for e in arr.membership_log]
+        assert ("del", 0, 0x10) in kinds
+        assert ("add", 0, 0x14) in kinds
+
+    def test_snapshot_entries_round_trips(self):
+        arr = self._array()
+        for vpn in (0x10, 0x11, 0x13):
+            arr.insert(PTE(vpn=vpn, ppn=vpn + 1), asid=0)
+        seen = {(asid, page_vpn)
+                for asid, page_vpn, _pte, _s, _k in arr.snapshot_entries()}
+        assert seen == {(0, 0x10), (0, 0x11), (0, 0x13)}
+
+    def test_packed_context_staleness(self):
+        table = IdealPageTable()
+        table.map(PTE(vpn=0x20, ppn=5))
+        hierarchy = __import__(
+            "repro.mmu.hierarchy", fromlist=["MemoryHierarchy"]
+        ).MemoryHierarchy()
+        mmu = MMU(IdealWalker(table, hierarchy))
+        ctx = mmu.packed_context()
+        assert not ctx.is_stale()
+        mmu.translate(0x20 << 12)  # walk fills the TLB: membership moves
+        assert ctx.is_stale()
+        assert not mmu.packed_context().is_stale()
